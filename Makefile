@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench experiments verify
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full scale (~10 min).
+experiments:
+	go run ./cmd/skipbench -experiment all | tee experiments_full.txt
+
+# Quick end-to-end check: build, vet, tests, a fast benchmark pass and a
+# scaled-down experiment sweep.
+verify: build test
+	go test -bench=Fig3 -benchtime=10000x .
+	go run ./cmd/skipbench -experiment fig6 -scale 0.05 -maxprocs 16

@@ -1,0 +1,156 @@
+// Command nativebench measures the native (real-goroutine) queues with full
+// latency distributions — testing.B reports only means, and contention
+// effects live in the tail. It runs the paper's mixed workload on every
+// structure and prints mean, p50/p90/p99/p99.9 and max latencies for Insert
+// and DeleteMin separately.
+//
+//	nativebench -workers 8 -duration 2s -initial 1000
+//	nativebench -structures SkipQueue,LockFree -ratio 0.3
+//
+// On machines with few cores the differences are small (the paper needed
+// 256 processors; see cmd/skipbench for the simulated sweep) but tail
+// latency still separates the designs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue"
+	"skipqueue/internal/hist"
+	"skipqueue/internal/xrand"
+)
+
+type queue interface {
+	insert(k int64)
+	deleteMin() bool
+}
+
+type skipQ struct {
+	q *skipqueue.Queue[int64, int64]
+}
+
+func (s skipQ) insert(k int64)  { s.q.Insert(k, k) }
+func (s skipQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
+
+type relaxedQ struct {
+	q *skipqueue.Queue[int64, int64]
+}
+
+func (s relaxedQ) insert(k int64)  { s.q.Insert(k, k) }
+func (s relaxedQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
+
+type lockFreeQ struct {
+	q *skipqueue.LockFree[int64, int64]
+}
+
+func (s lockFreeQ) insert(k int64)  { s.q.Insert(k, k) }
+func (s lockFreeQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
+
+type heapQ struct{ q *skipqueue.Heap[int64, int64] }
+
+func (s heapQ) insert(k int64)  { _ = s.q.Insert(k, k) }
+func (s heapQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
+
+type glQ struct {
+	q *skipqueue.GlobalLockHeap[int64, int64]
+}
+
+func (s glQ) insert(k int64)  { s.q.Insert(k, k) }
+func (s glQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
+
+type funnelQ struct {
+	q *skipqueue.FunnelList[int64, int64]
+}
+
+func (s funnelQ) insert(k int64)  { s.q.Insert(k, k) }
+func (s funnelQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
+
+func build(name string, capacity int) (queue, bool) {
+	switch name {
+	case "SkipQueue":
+		return skipQ{skipqueue.New[int64, int64](skipqueue.WithSeed(1))}, true
+	case "Relaxed":
+		return relaxedQ{skipqueue.New[int64, int64](skipqueue.WithSeed(1), skipqueue.WithRelaxed())}, true
+	case "LockFree":
+		return lockFreeQ{skipqueue.NewLockFree[int64, int64](skipqueue.WithSeed(1))}, true
+	case "Heap":
+		return heapQ{skipqueue.NewHeap[int64, int64](capacity)}, true
+	case "FunnelList":
+		return funnelQ{skipqueue.NewFunnelList[int64, int64]()}, true
+	case "GlobalLock":
+		return glQ{skipqueue.NewGlobalLockHeap[int64, int64]()}, true
+	}
+	return nil, false
+}
+
+func main() {
+	var (
+		workers    = flag.Int("workers", 8, "worker goroutines")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement duration per structure")
+		initial    = flag.Int("initial", 1000, "initial queue size")
+		ratio      = flag.Float64("ratio", 0.5, "insert ratio")
+		structures = flag.String("structures", "SkipQueue,Relaxed,LockFree,Heap,FunnelList,GlobalLock", "comma-separated structures")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	names := strings.Split(*structures, ",")
+	fmt.Printf("workers=%d duration=%v initial=%d insert-ratio=%.2f\n\n",
+		*workers, *duration, *initial, *ratio)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		q, ok := build(name, *initial+int(duration.Seconds()*5_000_000))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nativebench: unknown structure %q\n", name)
+			os.Exit(2)
+		}
+		ins, del, ops := run(q, *workers, *duration, *initial, *ratio, *seed)
+		fmt.Printf("%-11s %10.0f ops/sec\n", name, float64(ops)/duration.Seconds())
+		fmt.Printf("  insert:    %s\n", ins.Summary())
+		fmt.Printf("  deletemin: %s\n", del.Summary())
+	}
+}
+
+func run(q queue, workers int, d time.Duration, initial int, ratio float64, seed uint64) (ins, del *hist.H, ops uint64) {
+	rng := xrand.NewRand(seed)
+	for i := 0; i < initial; i++ {
+		q.insert(rng.Int63() % (1 << 40))
+	}
+	ins, del = new(hist.H), new(hist.H)
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.NewRand(seed + uint64(w)*0x9e3779b97f4a7c15)
+			localIns, localDel := new(hist.H), new(hist.H)
+			n := uint64(0)
+			for !stop.Load() {
+				start := time.Now()
+				if r.Float64() < ratio {
+					q.insert(r.Int63() % (1 << 40))
+					localIns.Observe(time.Since(start))
+				} else {
+					q.deleteMin()
+					localDel.Observe(time.Since(start))
+				}
+				n++
+			}
+			ins.Merge(localIns)
+			del.Merge(localDel)
+			total.Add(n)
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return ins, del, total.Load()
+}

@@ -1,0 +1,170 @@
+// Command skipbench regenerates the tables and figures of the Lotan/Shavit
+// evaluation (Section 5) on the simulated multiprocessor.
+//
+// Usage:
+//
+//	skipbench -experiment fig3            # one figure at paper scale
+//	skipbench -experiment all -scale 0.2  # everything, 5x fewer operations
+//	skipbench -list                       # show available experiments
+//	skipbench -experiment fig4 -csv       # machine-readable rows
+//
+// Latencies are printed in simulated machine cycles; rows correspond to the
+// series of the paper's plots (one row per processor count per structure, or
+// per work amount for Figure 2). See EXPERIMENTS.md for paper-vs-measured
+// commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skipqueue/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig2..fig8, funnel-delmin, all)")
+		scale      = flag.Float64("scale", 1.0, "operation-count multiplier (1.0 = paper scale)")
+		maxProcs   = flag.Int("maxprocs", 256, "largest simulated processor count")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		csv        = flag.Bool("csv", false, "emit CSV rows")
+		plot       = flag.Bool("plot", false, "render ASCII charts after each processor sweep")
+		summary    = flag.Bool("summary", true, "print headline ratios after each experiment")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		fmt.Printf("%-14s %s\n", "funnel-delmin",
+			"Ablation: SkipQueue with a funnel-regulated DeleteMin (the design the authors tried and rejected)")
+		fmt.Printf("%-14s %s\n", "contention",
+			"Analysis: where the cycles go (hot-word stalls vs lock waits) per structure")
+		fmt.Printf("%-14s %s\n", "lockfree",
+			"Extension: lock-based SkipQueue vs its lock-free (CAS) successor")
+		fmt.Printf("%-14s %s\n", "gc",
+			"Ablation: cost of the paper's dedicated-GC-processor reclamation scheme")
+		fmt.Printf("%-14s %s\n", "keydist",
+			"Ablation: priority distributions beyond the paper's uniform draws")
+		fmt.Printf("%-14s %s\n", "globallock",
+			"Baseline: naive single-global-lock heap vs Hunt heap vs SkipQueue")
+		fmt.Printf("%-14s %s\n", "bounded",
+			"Related work [39]: bounded-range bin queue vs SkipQueue on small priorities")
+		return
+	}
+
+	opts := harness.Options{Scale: *scale, MaxProcs: *maxProcs, Seed: *seed, CSV: *csv}
+
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		results := harness.RunExperiment(os.Stdout, e, opts)
+		if *plot && len(e.Works) == 0 {
+			harness.PlotResults(os.Stdout, e.Title, results)
+		}
+		if *summary && !*csv {
+			if s := harness.Summarize(results); s != "" {
+				fmt.Print(s)
+			}
+			if x := harness.Crossover(results, harness.FunnelList, harness.SkipQueue); x > 0 {
+				fmt.Printf("FunnelList falls behind SkipQueue at %d processors\n", x)
+			}
+			fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+
+	switch *experiment {
+	case "all":
+		for _, e := range harness.Experiments {
+			run(e)
+		}
+		runFunnelDelMin(os.Stdout, opts)
+		runLockFree(os.Stdout, opts)
+		runGC(os.Stdout, opts)
+		runKeyDist(os.Stdout, opts)
+		runGlobalLock(os.Stdout, opts)
+		runBounded(os.Stdout, opts)
+		runContention(os.Stdout, opts)
+	case "funnel-delmin":
+		runFunnelDelMin(os.Stdout, opts)
+	case "contention":
+		runContention(os.Stdout, opts)
+	case "lockfree":
+		runLockFree(os.Stdout, opts)
+	case "gc":
+		runGC(os.Stdout, opts)
+	case "keydist":
+		runKeyDist(os.Stdout, opts)
+	case "globallock":
+		runGlobalLock(os.Stdout, opts)
+	case "bounded":
+		runBounded(os.Stdout, opts)
+	default:
+		e, ok := harness.FindExperiment(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "skipbench: unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(2)
+		}
+		run(e)
+	}
+}
+
+// runFunnelDelMin reproduces the negative result reported in Section 5: the
+// authors first tried regulating DeleteMin access to the SkipQueue's bottom
+// level with a combining funnel and found it slower above 64 processors than
+// letting processors race for the first unmarked node.
+func runFunnelDelMin(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Ablation: funnel-regulated DeleteMin vs racing DeleteMin (50 initial, 50% inserts)")
+	harness.RunFunnelDelMin(w, opts)
+	fmt.Fprintln(w)
+}
+
+// runLockFree compares the paper's lock-based queue with the lock-free
+// design its line of work evolved into.
+func runLockFree(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Extension: lock-based vs lock-free SkipQueue (50 initial, 50% inserts)")
+	harness.RunLockFree(w, opts)
+	fmt.Fprintln(w)
+}
+
+// runGC measures the paper's reclamation scheme (a dedicated collector
+// processor, per-processor garbage lists, entry-time registrations).
+func runGC(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Ablation: explicit reclamation with a dedicated GC processor (50 initial, 50% inserts)")
+	harness.RunGC(w, opts)
+	fmt.Fprintln(w)
+}
+
+// runKeyDist compares structures across priority distributions.
+func runKeyDist(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Ablation: priority distributions (64 procs, 1000 initial, 50% inserts)")
+	harness.RunKeyDist(w, opts)
+	fmt.Fprintln(w)
+}
+
+// runGlobalLock sweeps the naive baseline.
+func runGlobalLock(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Baseline: single-global-lock heap (1000 initial, 50% inserts)")
+	harness.RunGlobalLock(w, opts)
+	fmt.Fprintln(w)
+}
+
+// runBounded compares the bounded bin queue against the general SkipQueue.
+func runBounded(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Related work [39]: bounded-range bins vs SkipQueue (256 priorities, 1000 initial)")
+	harness.RunBounded(w, opts)
+	fmt.Fprintln(w)
+}
+
+// runContention prints the hot-spot analysis: per structure and processor
+// count, how many cycles per operation drain into hot-word queueing versus
+// lock waiting.
+func runContention(w *os.File, opts harness.Options) {
+	fmt.Fprintln(w, "# Analysis: contention breakdown (50 initial, 50% inserts)")
+	harness.RunContention(w, opts)
+	fmt.Fprintln(w)
+}

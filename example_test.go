@@ -1,0 +1,117 @@
+package skipqueue_test
+
+import (
+	"fmt"
+
+	"skipqueue"
+)
+
+func ExampleQueue() {
+	q := skipqueue.New[int, string]()
+	q.Insert(30, "thirty")
+	q.Insert(10, "ten")
+	q.Insert(20, "twenty")
+	q.Insert(10, "TEN") // same key: value replaced in place
+
+	for {
+		k, v, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 10 TEN
+	// 20 twenty
+	// 30 thirty
+}
+
+func ExamplePQ() {
+	pq := skipqueue.NewPQ[string]()
+	pq.Push(2, "second (a)")
+	pq.Push(1, "first")
+	pq.Push(2, "second (b)") // duplicate priorities are fine: FIFO within 2
+
+	for {
+		p, v, ok := pq.Pop()
+		if !ok {
+			break
+		}
+		fmt.Println(p, v)
+	}
+	// Output:
+	// 1 first
+	// 2 second (a)
+	// 2 second (b)
+}
+
+func ExampleNew_relaxed() {
+	// The relaxed queue drops the strict ordering timestamps (paper §5.4):
+	// faster deletions under heavy contention, with the caveat that an
+	// element inserted concurrently with a DeleteMin may be returned when
+	// it sorts first.
+	q := skipqueue.New[int64, struct{}](skipqueue.WithRelaxed())
+	q.Insert(7, struct{}{})
+	k, _, _ := q.DeleteMin()
+	fmt.Println(k, q.Relaxed())
+	// Output:
+	// 7 true
+}
+
+func ExampleLockFree() {
+	q := skipqueue.NewLockFree[int, string]()
+	q.Insert(2, "b")
+	q.Insert(1, "a")
+	k, v, _ := q.DeleteMin()
+	fmt.Println(k, v)
+	// Output:
+	// 1 a
+}
+
+func ExampleBounded() {
+	// Priorities known to be in [0, 8): the bin queue the paper contrasts
+	// the general SkipQueue with.
+	q := skipqueue.NewBounded[string](8)
+	q.Insert(5, "background")
+	q.Insert(0, "urgent")
+	p, v, _ := q.DeleteMin()
+	fmt.Println(p, v)
+	// Output:
+	// 0 urgent
+}
+
+func ExampleMap() {
+	m := skipqueue.NewMap[string, int]()
+	m.Set("pear", 3)
+	m.Set("apple", 1)
+	m.Set("quince", 9)
+	m.Range(func(k string, v int) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// apple 1
+	// pear 3
+	// quince 9
+}
+
+func ExampleRanked() {
+	r := skipqueue.NewRanked[int, string]()
+	for _, k := range []int{50, 10, 40, 20, 30} {
+		r.Set(k, "v")
+	}
+	k, _, _ := r.At(2) // third-smallest key
+	fmt.Println(k, r.Rank(35))
+	// Output:
+	// 30 3
+}
+
+func ExampleHeap() {
+	h := skipqueue.NewHeap[int, string](1024) // fixed capacity: heaps pre-allocate
+	_ = h.Insert(2, "b")
+	_ = h.Insert(1, "a")
+	k, v, _ := h.DeleteMin()
+	fmt.Println(k, v)
+	// Output:
+	// 1 a
+}

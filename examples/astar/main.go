@@ -1,0 +1,186 @@
+// Parallel A* grid pathfinding: shortest path on a large randomly
+// obstructed grid, with the open set shared by several worker goroutines
+// through a skipqueue.PQ. Numerical search algorithms of this shape are the
+// first application family the paper's introduction lists for concurrent
+// priority queues.
+//
+//	go run ./examples/astar [-size N] [-workers W] [-density D]
+//
+// Parallel best-first search tolerates the queue's weak global ordering:
+// a node popped "too early" is simply re-expanded if a better path to it
+// appears later (the algorithm keeps the usual closed-set cost check), so
+// the result is exact. The run is verified against a sequential Dijkstra.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue"
+)
+
+type cell struct{ x, y int }
+
+func main() {
+	var (
+		size    = flag.Int("size", 600, "grid side length")
+		workers = flag.Int("workers", 8, "search workers")
+		density = flag.Float64("density", 0.25, "obstacle density")
+		seed    = flag.Int64("seed", 7, "grid seed")
+	)
+	flag.Parse()
+
+	n := *size
+	rng := rand.New(rand.NewSource(*seed))
+	blocked := make([]bool, n*n)
+	for i := range blocked {
+		blocked[i] = rng.Float64() < *density
+	}
+	start := cell{0, 0}
+	goal := cell{n - 1, n - 1}
+	blocked[0] = false
+	blocked[n*n-1] = false
+
+	t0 := time.Now()
+	dist, expanded := parallelAStar(n, blocked, start, goal, *workers)
+	elapsed := time.Since(t0)
+
+	if dist < 0 {
+		fmt.Printf("no path exists (density %.2f)\n", *density)
+	} else {
+		fmt.Printf("shortest path: %d steps (%d nodes expanded, %v, %d workers)\n",
+			dist, expanded, elapsed.Round(time.Millisecond), *workers)
+	}
+
+	// Verify against sequential Dijkstra.
+	want := dijkstra(n, blocked, start, goal)
+	if want != dist {
+		fmt.Printf("VERIFICATION FAILED: Dijkstra found %d\n", want)
+		return
+	}
+	fmt.Printf("verified against sequential Dijkstra (%d)\n", want)
+}
+
+func idx(n int, c cell) int { return c.y*n + c.x }
+
+func heuristic(a, b cell) int64 {
+	dx, dy := int64(a.x-b.x), int64(a.y-b.y)
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy // Manhattan distance: admissible on a 4-connected grid
+}
+
+// parallelAStar returns the shortest path length (or -1) and the number of
+// node expansions.
+func parallelAStar(n int, blocked []bool, start, goal cell, workers int) (int64, int64) {
+	open := skipqueue.NewPQ[cell]()
+	best := make([]atomic.Int64, n*n) // best known g-cost per cell, -1 = unseen
+	for i := range best {
+		best[i].Store(-1)
+	}
+	best[idx(n, start)].Store(0)
+	open.Push(heuristic(start, goal), start)
+
+	var goalCost atomic.Int64
+	goalCost.Store(1 << 62)
+	var expanded atomic.Int64
+	var active atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				f, cur, ok := open.Pop()
+				if !ok {
+					if active.Load() == 0 && open.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				active.Add(1)
+				if f >= goalCost.Load() {
+					// Everything remaining is at least as long as the best
+					// complete path: this worker's frontier is exhausted.
+					active.Add(-1)
+					continue
+				}
+				g := best[idx(n, cur)].Load()
+				expanded.Add(1)
+				for _, d := range [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx := cell{cur.x + d.x, cur.y + d.y}
+					if nx.x < 0 || nx.y < 0 || nx.x >= n || nx.y >= n || blocked[idx(n, nx)] {
+						continue
+					}
+					ng := g + 1
+					// CAS loop: claim the better cost.
+					i := idx(n, nx)
+					for {
+						old := best[i].Load()
+						if old >= 0 && old <= ng {
+							break
+						}
+						if best[i].CompareAndSwap(old, ng) {
+							if nx == goal {
+								for {
+									gc := goalCost.Load()
+									if ng >= gc || goalCost.CompareAndSwap(gc, ng) {
+										break
+									}
+								}
+							} else {
+								open.Push(ng+heuristic(nx, goal), nx)
+							}
+							break
+						}
+					}
+				}
+				active.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if gc := goalCost.Load(); gc < 1<<62 {
+		return gc, expanded.Load()
+	}
+	return -1, expanded.Load()
+}
+
+// dijkstra is the sequential reference (uniform edge costs: BFS).
+func dijkstra(n int, blocked []bool, start, goal cell) int64 {
+	dist := make([]int64, n*n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[idx(n, start)] = 0
+	queue := []cell{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == goal {
+			return dist[idx(n, cur)]
+		}
+		for _, d := range [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx := cell{cur.x + d.x, cur.y + d.y}
+			if nx.x < 0 || nx.y < 0 || nx.x >= n || nx.y >= n || blocked[idx(n, nx)] {
+				continue
+			}
+			if dist[idx(n, nx)] < 0 {
+				dist[idx(n, nx)] = dist[idx(n, cur)] + 1
+				queue = append(queue, nx)
+			}
+		}
+	}
+	return -1
+}

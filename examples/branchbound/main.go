@@ -1,0 +1,202 @@
+// Parallel best-first branch-and-bound for the travelling salesman problem —
+// the second classic concurrent-priority-queue workload the paper cites
+// (Mohan's TSP experiments, numerical search codes).
+//
+//	go run ./examples/branchbound [-cities N] [-workers W]
+//
+// The global frontier of open subproblems is a skipqueue.PQ ordered by lower
+// bound, so all workers always expand the most promising subproblem first
+// (best-first search). The incumbent (best complete tour found so far) is an
+// atomic; subproblems whose bound exceeds it are pruned. For up to ~12
+// cities the result is verified against exhaustive search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue"
+)
+
+type node struct {
+	path    []int  // visited cities, path[0] == 0
+	visited uint32 // bitmask
+	cost    int64  // cost of path so far
+}
+
+func main() {
+	var (
+		nCities  = flag.Int("cities", 12, "number of cities (<=20)")
+		nWorkers = flag.Int("workers", 8, "worker goroutines")
+		seed     = flag.Int64("seed", 3, "instance seed")
+	)
+	flag.Parse()
+	if *nCities < 3 || *nCities > 20 {
+		fmt.Println("cities must be in [3, 20]")
+		return
+	}
+
+	// Random symmetric distance matrix.
+	n := *nCities
+	rng := rand.New(rand.NewSource(*seed))
+	dist := make([][]int64, n)
+	for i := range dist {
+		dist[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := int64(rng.Intn(99) + 1)
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+
+	// cheapestOut[i] is the cheapest edge leaving city i, used in the lower
+	// bound: every unvisited city (and the path's endpoint) still needs at
+	// least its cheapest outgoing edge.
+	cheapestOut := make([]int64, n)
+	for i := 0; i < n; i++ {
+		best := int64(1 << 40)
+		for j := 0; j < n; j++ {
+			if j != i && dist[i][j] < best {
+				best = dist[i][j]
+			}
+		}
+		cheapestOut[i] = best
+	}
+	bound := func(nd *node) int64 {
+		lb := nd.cost
+		last := nd.path[len(nd.path)-1]
+		lb += cheapestOut[last]
+		for c := 0; c < n; c++ {
+			if nd.visited&(1<<c) == 0 {
+				lb += cheapestOut[c]
+			}
+		}
+		return lb
+	}
+
+	frontier := skipqueue.NewPQ[*node](skipqueue.WithSeed(5))
+	root := &node{path: []int{0}, visited: 1}
+	frontier.Push(bound(root), root)
+
+	var (
+		best     atomic.Int64 // incumbent tour cost
+		bestTour atomic.Value // []int
+		expanded atomic.Int64
+		pruned   atomic.Int64
+		active   atomic.Int64 // workers currently expanding a node
+	)
+	best.Store(1 << 40)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lb, nd, ok := frontier.Pop()
+				if !ok {
+					// Terminate only when no work is queued and no worker
+					// is mid-expansion (which could push more work).
+					if active.Load() == 0 && frontier.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				active.Add(1)
+				if lb >= best.Load() {
+					pruned.Add(1)
+					active.Add(-1)
+					continue
+				}
+				expanded.Add(1)
+				last := nd.path[len(nd.path)-1]
+				if len(nd.path) == n {
+					// Complete tour: close the cycle.
+					total := nd.cost + dist[last][0]
+					for {
+						cur := best.Load()
+						if total >= cur {
+							break
+						}
+						if best.CompareAndSwap(cur, total) {
+							tour := append(append([]int(nil), nd.path...), 0)
+							bestTour.Store(tour)
+							break
+						}
+					}
+					active.Add(-1)
+					continue
+				}
+				for c := 1; c < n; c++ {
+					if nd.visited&(1<<c) != 0 {
+						continue
+					}
+					child := &node{
+						path:    append(append(make([]int, 0, len(nd.path)+1), nd.path...), c),
+						visited: nd.visited | 1<<c,
+						cost:    nd.cost + dist[last][c],
+					}
+					if lb := bound(child); lb < best.Load() {
+						frontier.Push(lb, child)
+					} else {
+						pruned.Add(1)
+					}
+				}
+				active.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("optimal tour cost: %d\n", best.Load())
+	fmt.Printf("tour: %v\n", bestTour.Load())
+	fmt.Printf("expanded %d nodes, pruned %d, in %v with %d workers\n",
+		expanded.Load(), pruned.Load(), elapsed.Round(time.Millisecond), *nWorkers)
+
+	// Verify against exhaustive search for small instances.
+	if n <= 12 {
+		bf := bruteForce(dist, n)
+		if bf != best.Load() {
+			fmt.Printf("VERIFICATION FAILED: brute force found %d\n", bf)
+		} else {
+			fmt.Printf("verified against exhaustive search (%d)\n", bf)
+		}
+	}
+}
+
+// bruteForce enumerates all tours.
+func bruteForce(dist [][]int64, n int) int64 {
+	perm := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		perm = append(perm, i)
+	}
+	best := int64(1 << 40)
+	var rec func(k int, cost int64, last int)
+	rec = func(k int, cost int64, last int) {
+		if cost >= best {
+			return
+		}
+		if k == len(perm) {
+			if total := cost + dist[last][0]; total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k+1, cost+dist[last][perm[k]], perm[k])
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}

@@ -1,0 +1,147 @@
+// Deadline-driven task scheduler: a worker pool always executes the task
+// with the earliest deadline (EDF). The shared run queue is the contended
+// structure; this example runs the same workload against the SkipQueue and
+// against the two baselines from the paper's evaluation — the Hunt et al.
+// concurrent heap and the FunnelList — and reports throughput and deadline
+// misses for each, a real-threads miniature of the paper's comparison.
+//
+//	go run ./examples/tasksched [-tasks N] [-workers W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue"
+)
+
+type task struct {
+	id       int
+	deadline time.Time
+	work     time.Duration
+}
+
+// runQueue abstracts the three structures under test.
+type runQueue interface {
+	push(deadline int64, t task)
+	pop() (task, bool)
+	name() string
+}
+
+type skipQ struct{ pq *skipqueue.PQ[task] }
+
+func (q skipQ) push(d int64, t task) { q.pq.Push(d, t) }
+func (q skipQ) pop() (task, bool)    { _, t, ok := q.pq.Pop(); return t, ok }
+func (q skipQ) name() string         { return "SkipQueue" }
+
+type heapQ struct{ h *skipqueue.Heap[int64, task] }
+
+func (q heapQ) push(d int64, t task) {
+	// The heap orders by key alone; tie-break with the task id so equal
+	// deadlines stay distinct (the heap is a multiset, so this is only for
+	// deterministic ordering, not correctness).
+	if err := q.h.Insert(d, t); err != nil {
+		panic(err)
+	}
+}
+func (q heapQ) pop() (task, bool) { _, t, ok := q.h.DeleteMin(); return t, ok }
+func (q heapQ) name() string      { return "HuntHeap" }
+
+type funnelQ struct {
+	f *skipqueue.FunnelList[int64, task]
+}
+
+func (q funnelQ) push(d int64, t task) { q.f.Insert(d, t) }
+func (q funnelQ) pop() (task, bool)    { _, t, ok := q.f.DeleteMin(); return t, ok }
+func (q funnelQ) name() string         { return "FunnelList" }
+
+func main() {
+	var (
+		nTasks   = flag.Int("tasks", 100000, "tasks per structure")
+		nWorkers = flag.Int("workers", 8, "worker goroutines")
+	)
+	flag.Parse()
+
+	queues := []runQueue{
+		skipQ{skipqueue.NewPQ[task]()},
+		heapQ{skipqueue.NewHeap[int64, task](*nTasks + 1)},
+		funnelQ{skipqueue.NewFunnelList[int64, task]()},
+	}
+	fmt.Printf("%-12s %12s %12s %10s\n", "queue", "tasks/sec", "elapsed", "misses")
+	for _, q := range queues {
+		elapsed, misses := run(q, *nTasks, *nWorkers)
+		fmt.Printf("%-12s %12.0f %12v %10d\n",
+			q.name(), float64(*nTasks)/elapsed.Seconds(), elapsed.Round(time.Millisecond), misses)
+	}
+}
+
+func run(q runQueue, nTasks, nWorkers int) (time.Duration, int64) {
+	base := time.Now()
+	rng := rand.New(rand.NewSource(11))
+
+	// Producers feed tasks with deadlines 0-200ms out while workers drain.
+	var produced atomic.Int64
+	var done atomic.Int64
+	var misses atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	const producers = 2
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(p)))
+			for i := p; i < nTasks; i += producers {
+				dl := base.Add(time.Duration(prng.Intn(200)) * time.Millisecond)
+				q.push(dl.UnixNano(), task{
+					id:       i,
+					deadline: dl,
+					work:     time.Duration(prng.Intn(2)) * time.Microsecond,
+				})
+				produced.Add(1)
+			}
+		}(p)
+	}
+	_ = rng
+
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := q.pop()
+				if !ok {
+					if produced.Load() >= int64(nTasks) && done.Load() >= int64(nTasks) {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				// "Execute" the task.
+				if t.work > 0 {
+					busySpin(t.work)
+				}
+				if time.Now().After(t.deadline) {
+					misses.Add(1)
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), misses.Load()
+}
+
+// busySpin burns CPU for roughly d, standing in for task execution.
+func busySpin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

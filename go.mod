@@ -1,0 +1,3 @@
+module skipqueue
+
+go 1.22

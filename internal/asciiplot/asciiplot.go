@@ -1,0 +1,182 @@
+// Package asciiplot renders the harness's latency series as terminal
+// charts, so `skipbench -plot` can show the *figures* of the paper, not
+// just their tables. Series are drawn on log-log axes (processor counts
+// are powers of two and latencies span orders of magnitude, as in the
+// paper's plots).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve: y[i] plotted at x[i].
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config shapes the canvas.
+type Config struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	LogX   bool
+	LogY   bool
+	Title  string
+	YLabel string
+	XLabel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+	return c
+}
+
+// markers distinguish up to six series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series onto a text canvas and returns it.
+func Render(cfg Config, series ...Series) string {
+	cfg = cfg.withDefaults()
+	var xs, ys []float64
+	for _, s := range series {
+		for i := range s.X {
+			if s.Y[i] <= 0 && cfg.LogY {
+				continue
+			}
+			xs = append(xs, txv(cfg.LogX, s.X[i]))
+			ys = append(ys, txv(cfg.LogY, s.Y[i]))
+		}
+	}
+	if len(xs) == 0 {
+		return "(no data)\n"
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if cfg.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			x := txv(cfg.LogX, s.X[i])
+			y := txv(cfg.LogY, s.Y[i])
+			col := int((x - xmin) / (xmax - xmin) * float64(cfg.Width-1))
+			row := cfg.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(cfg.Height-1))
+			if col >= 0 && col < cfg.Width && row >= 0 && row < cfg.Height {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yLo, yHi := untx(cfg.LogY, ymin), untx(cfg.LogY, ymax)
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9s ", compact(yHi))
+		} else if r == cfg.Height-1 {
+			label = fmt.Sprintf("%9s ", compact(yLo))
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(line))
+	}
+	xLo, xHi := untx(cfg.LogX, xmin), untx(cfg.LogX, xmax)
+	fmt.Fprintf(&b, "%10s %-*s%s\n", compact(xLo), cfg.Width-len(compact(xHi))+1, "", compact(xHi))
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%10s x: %s, y: %s\n", "", cfg.XLabel, cfg.YLabel)
+	}
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func txv(log bool, v float64) float64 {
+	if log {
+		if v <= 0 {
+			return 0
+		}
+		return math.Log2(v)
+	}
+	return v
+}
+
+func untx(log bool, v float64) float64 {
+	if log {
+		return math.Pow(2, v)
+	}
+	return v
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// compact formats a number tightly: 1200000 -> "1.2M", 45300 -> "45.3k".
+func compact(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case abs >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case abs >= 10 || abs == math.Trunc(abs):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return trimZero(fmt.Sprintf("%.2f", v))
+	}
+}
+
+func trimZero(s string) string {
+	if i := strings.Index(s, "."); i >= 0 {
+		// "45.0k" -> "45k"
+		j := len(s)
+		suffix := ""
+		if !isDigit(s[j-1]) {
+			suffix = s[j-1:]
+			j--
+		}
+		body := strings.TrimRight(strings.TrimRight(s[:j], "0"), ".")
+		return body + suffix
+	}
+	return s
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// SortSeries orders series by name for stable legends.
+func SortSeries(series []Series) {
+	sort.Slice(series, func(i, j int) bool { return series[i].Name < series[j].Name })
+}

@@ -1,0 +1,91 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := Series{Name: "linear", X: []float64{1, 2, 4, 8}, Y: []float64{10, 20, 40, 80}}
+	out := Render(Config{Title: "t", LogX: true, LogY: true, XLabel: "procs", YLabel: "cycles"}, s)
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* linear") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if strings.Count(out, "*") < 4 { // 4 points + legend marker
+		t.Fatalf("points missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: procs, y: cycles") {
+		t.Fatal("missing axis labels")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(Config{}); out != "(no data)\n" {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}}
+	b := Series{Name: "b", X: []float64{1, 2}, Y: []float64{2, 4}}
+	out := Render(Config{}, a, b)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestMonotoneSeriesSlopesUpward(t *testing.T) {
+	// The row of the first point must be below (larger row index than) the
+	// row of the last point for an increasing series.
+	s := Series{Name: "up", X: []float64{1, 2, 3, 4, 5, 6, 7, 8}, Y: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	out := Render(Config{Width: 32, Height: 8}, s)
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if p := strings.IndexByte(line, '*'); p >= 0 && !strings.Contains(line, "up") {
+			if firstRow < 0 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow < 0 || lastRow <= firstRow {
+		t.Fatalf("no upward slope detected:\n%s", out)
+	}
+}
+
+func TestLogYDropsNonPositive(t *testing.T) {
+	s := Series{Name: "s", X: []float64{1, 2}, Y: []float64{0, 100}}
+	out := Render(Config{LogY: true}, s)
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("all data dropped")
+	}
+}
+
+func TestCompactFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1200000: "1.2M",
+		1000000: "1M",
+		45300:   "45.3k",
+		45000:   "45k",
+		128:     "128",
+		2.5:     "2.5",
+		0:       "0",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Fatalf("compact(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSortSeries(t *testing.T) {
+	s := []Series{{Name: "b"}, {Name: "a"}}
+	SortSeries(s)
+	if s[0].Name != "a" {
+		t.Fatal("not sorted")
+	}
+}

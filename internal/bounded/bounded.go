@@ -1,0 +1,159 @@
+// Package bounded implements a bounded-range concurrent priority queue in
+// the style of Shavit and Zemach's bin-based queues ("Concurrent Priority
+// Queue Algorithms", PODC 1999) — reference [39] of the Lotan/Shavit paper.
+//
+// The paper contrasts its general-range SkipQueue with this special case:
+// when priorities come from a small predetermined set {0..R-1}, the queue
+// can be an array of R bins, each holding every element of one priority,
+// with a shared hint tracking a lower bound on the smallest non-empty bin.
+// Performance is then governed by contention on the bins, not by search
+// structure traversal — which is why such designs scale for operating-system
+// style workloads but cannot replace a general priority queue.
+//
+// Semantics: elements of equal priority are unordered among themselves
+// (bins are LIFO). DeleteMin returns the minimum priority present on every
+// quiescent cut; under concurrency a DeleteMin overlapping an Insert of a
+// smaller priority may miss it for the duration of that insert, mirroring
+// the relaxed SkipQueue's window.
+package bounded
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a fixed-range concurrent priority queue over priorities
+// [0, Range). Construct with New. All methods are safe for concurrent use.
+type Queue[V any] struct {
+	bins []bin[V]
+	// minHint is a lower bound on the smallest non-empty priority: inserts
+	// lower it after pushing; DeleteMin advances it past bins it verified
+	// empty, with a CAS that loses to any concurrent lowering.
+	minHint atomic.Int64
+	size    atomic.Int64
+
+	stInserts atomic.Uint64
+	stDeletes atomic.Uint64
+	stEmpties atomic.Uint64
+	stScans   atomic.Uint64
+}
+
+type bin[V any] struct {
+	mu    sync.Mutex
+	items []V
+	count atomic.Int64 // len(items), readable without the lock
+}
+
+// Stats are monotone operation counters.
+type Stats struct {
+	Inserts    uint64
+	DeleteMins uint64
+	Empties    uint64
+	BinScans   uint64 // bins examined by DeleteMin scans
+}
+
+// New returns a queue accepting priorities in [0, r). It panics if r is not
+// positive: a bounded queue needs its range up front — the very
+// pre-commitment the general SkipQueue exists to avoid.
+func New[V any](r int) *Queue[V] {
+	if r <= 0 {
+		panic(fmt.Sprintf("bounded: invalid priority range %d", r))
+	}
+	q := &Queue[V]{bins: make([]bin[V], r)}
+	q.minHint.Store(int64(r)) // empty: hint beyond the last bin
+	return q
+}
+
+// Range returns the priority range R.
+func (q *Queue[V]) Range() int { return len(q.bins) }
+
+// Len returns the number of elements (snapshot).
+func (q *Queue[V]) Len() int { return int(q.size.Load()) }
+
+// Stats returns a snapshot of the operation counters.
+func (q *Queue[V]) Stats() Stats {
+	return Stats{
+		Inserts:    q.stInserts.Load(),
+		DeleteMins: q.stDeletes.Load(),
+		Empties:    q.stEmpties.Load(),
+		BinScans:   q.stScans.Load(),
+	}
+}
+
+// Insert adds value with the given priority. It panics if priority is
+// outside [0, Range).
+func (q *Queue[V]) Insert(priority int, value V) {
+	if priority < 0 || priority >= len(q.bins) {
+		panic(fmt.Sprintf("bounded: priority %d outside [0,%d)", priority, len(q.bins)))
+	}
+	b := &q.bins[priority]
+	b.mu.Lock()
+	b.items = append(b.items, value)
+	b.count.Store(int64(len(b.items)))
+	b.mu.Unlock()
+	q.size.Add(1)
+	q.stInserts.Add(1)
+	// Lower the hint to cover this bin. Retried CAS: we only ever lower.
+	for {
+		h := q.minHint.Load()
+		if int64(priority) >= h || q.minHint.CompareAndSwap(h, int64(priority)) {
+			break
+		}
+	}
+}
+
+// DeleteMin removes and returns an element of minimal priority. ok is false
+// when the queue is empty.
+func (q *Queue[V]) DeleteMin() (priority int, value V, ok bool) {
+	for {
+		start := q.minHint.Load()
+		i := int(start)
+		if i > len(q.bins) {
+			i = len(q.bins)
+		}
+		for ; i < len(q.bins); i++ {
+			q.stScans.Add(1)
+			b := &q.bins[i]
+			if b.count.Load() == 0 {
+				continue
+			}
+			b.mu.Lock()
+			if n := len(b.items); n > 0 {
+				value = b.items[n-1]
+				var zero V
+				b.items[n-1] = zero
+				b.items = b.items[:n-1]
+				b.count.Store(int64(n - 1))
+				b.mu.Unlock()
+				q.size.Add(-1)
+				q.stDeletes.Add(1)
+				// Advance the hint over the prefix we verified empty. The
+				// CAS loses to any concurrent insert that lowered it.
+				if int64(i) > start {
+					q.minHint.CompareAndSwap(start, int64(i))
+				}
+				return i, value, true
+			}
+			b.mu.Unlock()
+		}
+		// Scanned to the end: if the hint moved down meanwhile, an insert
+		// landed below our scan window — retry; otherwise the queue is
+		// empty as of this scan.
+		if q.minHint.Load() >= start {
+			q.stEmpties.Add(1)
+			var zero V
+			return 0, zero, false
+		}
+	}
+}
+
+// PeekMin returns the smallest priority currently present (advisory).
+func (q *Queue[V]) PeekMin() (priority int, ok bool) {
+	for i := int(q.minHint.Load()); i < len(q.bins); i++ {
+		if i >= 0 && q.bins[i].count.Load() > 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,212 @@
+package bounded
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New[string](8)
+	if _, _, ok := q.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	if q.Len() != 0 || q.Range() != 8 {
+		t.Fatalf("Len=%d Range=%d", q.Len(), q.Range())
+	}
+}
+
+func TestPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestPanicsOnBadPriority(t *testing.T) {
+	q := New[int](4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Insert did not panic")
+		}
+	}()
+	q.Insert(4, 1)
+}
+
+func TestOrderedDrain(t *testing.T) {
+	q := New[int](100)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		p := rng.Intn(100)
+		q.Insert(p, i)
+		counts[p]++
+	}
+	prev := -1
+	for i := 0; i < 1000; i++ {
+		p, _, ok := q.DeleteMin()
+		if !ok {
+			t.Fatalf("empty after %d", i)
+		}
+		if p < prev {
+			t.Fatalf("priority went backwards: %d after %d", p, prev)
+		}
+		prev = p
+		counts[p]--
+	}
+	for p, c := range counts {
+		if c != 0 {
+			t.Fatalf("bin %d imbalance %d", p, c)
+		}
+	}
+	if _, _, ok := q.DeleteMin(); ok {
+		t.Fatal("drained queue returned an element")
+	}
+}
+
+func TestMinHintRecovery(t *testing.T) {
+	q := New[int](50)
+	q.Insert(40, 1)
+	q.DeleteMin()  // hint likely advanced toward 40
+	q.Insert(3, 2) // must lower it back
+	p, _, ok := q.DeleteMin()
+	if !ok || p != 3 {
+		t.Fatalf("DeleteMin = %d,%v want 3", p, ok)
+	}
+}
+
+func TestPropertySequentialModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const r = 16
+		q := New[int](r)
+		model := map[int]int{} // priority -> count
+		total := 0
+		for i, op := range ops {
+			if op%2 == 0 {
+				p := int(op/2) % r
+				q.Insert(p, i)
+				model[p]++
+				total++
+			} else {
+				p, _, ok := q.DeleteMin()
+				if total == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				min := r
+				for mp, c := range model {
+					if c > 0 && mp < min {
+						min = mp
+					}
+				}
+				if !ok || p != min {
+					return false
+				}
+				model[p]--
+				total--
+			}
+			if q.Len() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	q := New[int](32)
+	const workers = 8
+	const per = 3000
+	var wg sync.WaitGroup
+	var deleted sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				if rng.Intn(2) == 0 {
+					q.Insert(rng.Intn(32), w*per+i)
+				} else if _, v, ok := q.DeleteMin(); ok {
+					if _, dup := deleted.LoadOrStore(v, true); dup {
+						t.Errorf("value %d delivered twice", v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := q.Stats()
+	if int(st.Inserts)-int(st.DeleteMins) != q.Len() {
+		t.Fatalf("conservation: %d in, %d out, %d left", st.Inserts, st.DeleteMins, q.Len())
+	}
+	// Drain and verify total count.
+	n := 0
+	for {
+		if _, _, ok := q.DeleteMin(); !ok {
+			break
+		}
+		n++
+	}
+	if n != q.Len()+n && q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestConcurrentDrainNoLoss(t *testing.T) {
+	q := New[int](64)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q.Insert(i%64, i)
+	}
+	var wg sync.WaitGroup
+	results := make([][]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				_, v, ok := q.DeleteMin()
+				if !ok {
+					return
+				}
+				results[w] = append(results[w], v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, res := range results {
+		for _, v := range res {
+			if seen[v] {
+				t.Fatalf("value %d twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d, want %d", len(seen), n)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	q := New[int](4)
+	q.Insert(1, 1)
+	q.DeleteMin()
+	q.DeleteMin()
+	st := q.Stats()
+	if st.Inserts != 1 || st.DeleteMins != 1 || st.Empties != 1 || st.BinScans == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

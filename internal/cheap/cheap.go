@@ -1,0 +1,340 @@
+// Package cheap implements the concurrent priority-queue heap of Hunt,
+// Michael, Parthasarathy and Scott ("An efficient algorithm for concurrent
+// priority queue heaps", Information Processing Letters 60(3), 1996) — the
+// strongest heap-based competitor in the Lotan/Shavit evaluation, and the
+// baseline labeled "Heap" in Figures 3–5 of the paper.
+//
+// The algorithm's contention-reduction techniques, all reproduced here:
+//
+//   - a single global lock protects only the heap's size variable and is
+//     held for a short, constant-time window (this is the sequential
+//     bottleneck the SkipQueue removes);
+//   - every heap slot has its own lock, and reheapification holds at most a
+//     parent/child pair at a time;
+//   - insertions proceed bottom-up and carry a tag identifying the
+//     inserting operation, so an insertion whose item was swapped away by a
+//     concurrent operation can chase it up the tree;
+//   - consecutive insertions start at bit-reversed positions of the last
+//     heap level, so their root-ward paths are disjoint and as many as O(N)
+//     operations proceed in parallel.
+//
+// Like the SkipQueue, the structure hands out elements in priority order on
+// quiescent cuts; under concurrency an in-flight insertion's element may be
+// taken from wherever it currently sits.
+package cheap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ordered mirrors cmp.Ordered.
+type ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}
+
+// Tag values. Positive tags are operation ids of in-flight insertions.
+const (
+	tagEmpty     int64 = 0  // slot holds no item
+	tagAvailable int64 = -1 // slot holds a fully inserted item
+)
+
+// DefaultCapacity is the default pre-allocated heap size. Heap-based queues
+// must pre-allocate their array — one of the disadvantages relative to the
+// SkipQueue that the paper lists in Section 1.2.
+const DefaultCapacity = 1 << 20
+
+type slot[K ordered, V any] struct {
+	mu  sync.Mutex
+	tag int64
+	pri K
+	val V
+}
+
+// Stats are operation counters for the contention analyses.
+type Stats struct {
+	Inserts    uint64 // successful insertions
+	Fulls      uint64 // insertions rejected because the heap was full
+	DeleteMins uint64 // deletions that returned an element
+	Empties    uint64 // deletions on an empty heap
+	SizeLocks  uint64 // acquisitions of the global size lock
+	Swaps      uint64 // item swaps during reheapification
+	Chases     uint64 // insertion steps spent chasing a moved item
+}
+
+// Heap is the Hunt et al. concurrent heap. Construct with New. All methods
+// are safe for concurrent use.
+type Heap[K ordered, V any] struct {
+	mu    sync.Mutex // the global lock: protects size only
+	size  int
+	slots []slot[K, V] // 1-based; slots[0] unused
+
+	nextOp atomic.Int64 // operation-id source for insertion tags
+
+	stInserts    atomic.Uint64
+	stFulls      atomic.Uint64
+	stDeleteMins atomic.Uint64
+	stEmpties    atomic.Uint64
+	stSizeLocks  atomic.Uint64
+	stSwaps      atomic.Uint64
+	stChases     atomic.Uint64
+}
+
+// New returns an empty heap holding at most capacity elements. A
+// non-positive capacity selects DefaultCapacity. Because the bit-reversal
+// scheme permutes entire heap levels, the capacity is rounded up to the
+// next full tree (2^k - 1 slots).
+func New[K ordered, V any](capacity int) *Heap[K, V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	full := 1
+	for full-1 < capacity {
+		full <<= 1
+	}
+	return &Heap[K, V]{slots: make([]slot[K, V], full)}
+}
+
+// Cap returns the fixed capacity.
+func (h *Heap[K, V]) Cap() int { return len(h.slots) - 1 }
+
+// Len returns the current number of elements (including ones whose
+// insertions are still percolating).
+func (h *Heap[K, V]) Len() int {
+	h.mu.Lock()
+	n := h.size
+	h.mu.Unlock()
+	return n
+}
+
+// Stats returns a snapshot of the operation counters.
+func (h *Heap[K, V]) Stats() Stats {
+	return Stats{
+		Inserts:    h.stInserts.Load(),
+		Fulls:      h.stFulls.Load(),
+		DeleteMins: h.stDeleteMins.Load(),
+		Empties:    h.stEmpties.Load(),
+		SizeLocks:  h.stSizeLocks.Load(),
+		Swaps:      h.stSwaps.Load(),
+		Chases:     h.stChases.Load(),
+	}
+}
+
+// Insert adds an element. It reports false when the heap is full.
+//
+// The element is placed in the bit-reversed last slot tagged with this
+// operation's id, then percolated toward the root one parent/child lock pair
+// at a time. If a concurrent operation moves the item, the tag mismatch
+// tells this operation to chase it one level up (Hunt et al., Figure 4).
+func (h *Heap[K, V]) Insert(pri K, val V) bool {
+	pid := h.nextOp.Add(1)
+
+	h.mu.Lock()
+	h.stSizeLocks.Add(1)
+	if h.size >= h.Cap() {
+		h.mu.Unlock()
+		h.stFulls.Add(1)
+		return false
+	}
+	h.size++
+	i := BitReversed(h.size)
+	h.slots[i].mu.Lock()
+	h.mu.Unlock()
+
+	h.slots[i].pri = pri
+	h.slots[i].val = val
+	h.slots[i].tag = pid
+	h.slots[i].mu.Unlock()
+
+	for i > 1 {
+		parent := i / 2
+		h.slots[parent].mu.Lock()
+		h.slots[i].mu.Lock()
+		oldI := i
+		switch {
+		case h.slots[parent].tag == tagAvailable && h.slots[i].tag == pid:
+			if h.slots[i].pri < h.slots[parent].pri {
+				h.swapItems(parent, i)
+				i = parent
+			} else {
+				h.slots[i].tag = tagAvailable
+				i = 0
+			}
+		case h.slots[parent].tag == tagEmpty:
+			// Our item was moved to the root and consumed by a deletion.
+			i = 0
+		case h.slots[i].tag != pid:
+			// Our item was swapped upward by a concurrent operation; chase it.
+			h.stChases.Add(1)
+			i = parent
+		}
+		h.slots[oldI].mu.Unlock()
+		h.slots[parent].mu.Unlock()
+	}
+	if i == 1 {
+		h.slots[1].mu.Lock()
+		if h.slots[1].tag == pid {
+			h.slots[1].tag = tagAvailable
+		}
+		h.slots[1].mu.Unlock()
+	}
+	h.stInserts.Add(1)
+	return true
+}
+
+// DeleteMin removes and returns the minimum element. ok is false when the
+// heap is empty.
+//
+// Following Hunt et al., the operation first claims the bit-reversed last
+// slot (reserving it under the size lock and emptying it under its own
+// lock), then swaps that item with the root's item and reheapifies downward
+// with hand-over-hand locking.
+func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
+	h.mu.Lock()
+	h.stSizeLocks.Add(1)
+	if h.size == 0 {
+		h.mu.Unlock()
+		h.stEmpties.Add(1)
+		return pri, val, false
+	}
+	bound := h.size
+	h.size--
+	i := BitReversed(bound)
+	h.slots[i].mu.Lock()
+	h.mu.Unlock()
+
+	pri = h.slots[i].pri
+	val = h.slots[i].val
+	h.slots[i].tag = tagEmpty
+	var zeroK K
+	var zeroV V
+	h.slots[i].pri = zeroK
+	h.slots[i].val = zeroV
+	h.slots[i].mu.Unlock()
+	if i == 1 {
+		h.stDeleteMins.Add(1)
+		return pri, val, true // the last slot was the root
+	}
+
+	h.slots[1].mu.Lock()
+	if h.slots[1].tag == tagEmpty {
+		// A concurrent deletion emptied the root: the item we claimed from
+		// the last slot is the answer.
+		h.slots[1].mu.Unlock()
+		h.stDeleteMins.Add(1)
+		return pri, val, true
+	}
+	// Exchange: return the root's item, leave the ex-last item at the root.
+	pri, h.slots[1].pri = h.slots[1].pri, pri
+	val, h.slots[1].val = h.slots[1].val, val
+	h.slots[1].tag = tagAvailable
+
+	// Reheapify top-down, holding at most the current node plus its
+	// children's locks at any moment.
+	i = 1
+	for {
+		left, right := 2*i, 2*i+1
+		if left >= len(h.slots) {
+			break
+		}
+		h.slots[left].mu.Lock()
+		rightLocked := false
+		if right < len(h.slots) {
+			h.slots[right].mu.Lock()
+			rightLocked = true
+		}
+		var child int
+		if h.slots[left].tag == tagEmpty {
+			// Bit-reversed filling empties right children first, so an
+			// empty left child means no occupied children at all.
+			h.slots[left].mu.Unlock()
+			if rightLocked {
+				h.slots[right].mu.Unlock()
+			}
+			break
+		} else if !rightLocked || h.slots[right].tag == tagEmpty || h.slots[left].pri < h.slots[right].pri {
+			if rightLocked {
+				h.slots[right].mu.Unlock()
+			}
+			child = left
+		} else {
+			h.slots[left].mu.Unlock()
+			child = right
+		}
+		if h.slots[child].pri < h.slots[i].pri {
+			h.swapItems(child, i)
+			h.slots[i].mu.Unlock()
+			i = child
+		} else {
+			h.slots[child].mu.Unlock()
+			break
+		}
+	}
+	h.slots[i].mu.Unlock()
+	h.stDeleteMins.Add(1)
+	return pri, val, true
+}
+
+// swapItems exchanges the items (priority, value and tag) of two locked
+// slots. Tags travel with their items so a chasing insertion can find its
+// element.
+func (h *Heap[K, V]) swapItems(a, b int) {
+	h.stSwaps.Add(1)
+	sa, sb := &h.slots[a], &h.slots[b]
+	sa.pri, sb.pri = sb.pri, sa.pri
+	sa.val, sb.val = sb.val, sa.val
+	sa.tag, sb.tag = sb.tag, sa.tag
+}
+
+// CheckInvariants verifies, on a quiescent heap, that every occupied slot is
+// AVAILABLE, that occupancy matches size, and that the heap order holds
+// between every occupied parent/child pair. It returns the occupied count.
+func (h *Heap[K, V]) CheckInvariants() (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	count := 0
+	for i := 1; i < len(h.slots); i++ {
+		if h.slots[i].tag == tagEmpty {
+			continue
+		}
+		if h.slots[i].tag != tagAvailable {
+			return 0, false // in-flight tag on a quiescent heap
+		}
+		count++
+		if i > 1 {
+			parent := i / 2
+			if h.slots[parent].tag == tagEmpty {
+				return 0, false // occupied child under an empty parent
+			}
+			if h.slots[i].pri < h.slots[parent].pri {
+				return 0, false // heap order violated
+			}
+		}
+	}
+	return count, count == h.size
+}
+
+// BitReversed maps a 1-based heap size to the slot where the size-th element
+// lives: the leading bit selects the heap level and the remaining bits are
+// reversed, so consecutive insertions land on slots whose root paths diverge
+// immediately (Hunt et al.'s bit-reversal technique).
+func BitReversed(s int) int {
+	if s <= 1 {
+		return s
+	}
+	// hi = position of the leading one; rest = bits below it.
+	hi := 0
+	for 1<<(hi+1) <= s {
+		hi++
+	}
+	rest := s - 1<<hi
+	rev := 0
+	for b := 0; b < hi; b++ {
+		if rest&(1<<b) != 0 {
+			rev |= 1 << (hi - 1 - b)
+		}
+	}
+	return 1<<hi + rev
+}

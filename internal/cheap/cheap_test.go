@@ -1,0 +1,268 @@
+package cheap
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitReversed(t *testing.T) {
+	// Level 3 (slots 8..15) must be visited in the classic bit-reversed
+	// order: 8, 12, 10, 14, 9, 13, 11, 15.
+	want := []int{8, 12, 10, 14, 9, 13, 11, 15}
+	for i, s := range []int{8, 9, 10, 11, 12, 13, 14, 15} {
+		if got := BitReversed(s); got != want[i] {
+			t.Fatalf("BitReversed(%d) = %d, want %d", s, got, want[i])
+		}
+	}
+	if BitReversed(1) != 1 {
+		t.Fatal("BitReversed(1) != 1")
+	}
+	if BitReversed(2) != 2 || BitReversed(3) != 3 {
+		t.Fatal("level 1 mapping wrong")
+	}
+}
+
+func TestPropertyBitReversedBijection(t *testing.T) {
+	// Within every level, BitReversed must be a bijection onto the level,
+	// and all left children of the level must precede all right children.
+	for level := uint(1); level <= 10; level++ {
+		lo, hi := 1<<level, 1<<(level+1)
+		seen := map[int]bool{}
+		var order []int
+		for s := lo; s < hi; s++ {
+			p := BitReversed(s)
+			if p < lo || p >= hi {
+				t.Fatalf("BitReversed(%d) = %d escapes level [%d,%d)", s, p, lo, hi)
+			}
+			if seen[p] {
+				t.Fatalf("BitReversed not injective at %d", p)
+			}
+			seen[p] = true
+			order = append(order, p)
+		}
+		half := len(order) / 2
+		for i, p := range order {
+			if i < half && p%2 != 0 {
+				t.Fatalf("level %d: odd slot %d appeared in first half", level, p)
+			}
+		}
+	}
+}
+
+func TestEmptyHeap(t *testing.T) {
+	h := New[int64, int64](16)
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty heap returned ok")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestFullHeap(t *testing.T) {
+	h := New[int64, int64](4)
+	if h.Cap() != 7 {
+		t.Fatalf("Cap = %d, want capacity rounded up to 7", h.Cap())
+	}
+	for i := int64(0); i < int64(h.Cap()); i++ {
+		if !h.Insert(i, i) {
+			t.Fatalf("Insert %d rejected on non-full heap", i)
+		}
+	}
+	if h.Insert(99, 99) {
+		t.Fatal("Insert on full heap accepted")
+	}
+	if st := h.Stats(); st.Fulls != 1 {
+		t.Fatalf("Fulls = %d", st.Fulls)
+	}
+}
+
+func TestSortedDrain(t *testing.T) {
+	h := New[int64, int64](0)
+	rng := rand.New(rand.NewSource(2))
+	const n = 5000
+	for _, k := range rng.Perm(n) {
+		h.Insert(int64(k), int64(k)*3)
+	}
+	if cnt, ok := h.CheckInvariants(); !ok || cnt != n {
+		t.Fatalf("invariants: cnt=%d ok=%v", cnt, ok)
+	}
+	for i := int64(0); i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != i || v != i*3 {
+			t.Fatalf("DeleteMin #%d = (%d,%d,%v)", i, k, v, ok)
+		}
+	}
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("drained heap returned an element")
+	}
+}
+
+func TestDuplicatePriorities(t *testing.T) {
+	h := New[int64, string](0)
+	h.Insert(1, "a")
+	h.Insert(1, "b")
+	h.Insert(0, "c")
+	k, v, _ := h.DeleteMin()
+	if k != 0 || v != "c" {
+		t.Fatalf("first = %d,%q", k, v)
+	}
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != 1 {
+			t.Fatalf("dup delete = %d,%v", k, ok)
+		}
+		got[v] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Fatalf("missing values: %v", got)
+	}
+}
+
+func TestPropertyHeapMatchesSort(t *testing.T) {
+	f := func(keys []int16) bool {
+		h := New[int64, int64](len(keys) + 1)
+		for _, k := range keys {
+			h.Insert(int64(k), int64(k))
+		}
+		if _, ok := h.CheckInvariants(); !ok {
+			return false
+		}
+		sorted := make([]int64, len(keys))
+		for i, k := range keys {
+			sorted[i] = int64(k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, want := range sorted {
+			k, _, ok := h.DeleteMin()
+			if !ok || k != want {
+				return false
+			}
+		}
+		_, _, ok := h.DeleteMin()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertThenDrain(t *testing.T) {
+	h := New[int64, int64](0)
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := int64(i*workers + w)
+				h.Insert(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cnt, ok := h.CheckInvariants(); !ok || cnt != workers*per {
+		t.Fatalf("invariants after concurrent inserts: cnt=%d ok=%v", cnt, ok)
+	}
+	prev := int64(-1)
+	for i := 0; i < workers*per; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != prev+1 {
+			t.Fatalf("DeleteMin #%d = %d (prev %d, ok %v)", i, k, prev, ok)
+		}
+		prev = k
+	}
+}
+
+func TestConcurrentMixedConservation(t *testing.T) {
+	h := New[int64, int64](0)
+	const workers = 8
+	var wg sync.WaitGroup
+	var deleted sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				if rng.Intn(2) == 0 {
+					k := int64(w)*1_000_000 + int64(i)
+					h.Insert(k, k)
+				} else {
+					if k, v, ok := h.DeleteMin(); ok {
+						if k != v {
+							t.Errorf("key %d carried value %d", k, v)
+						}
+						if _, dup := deleted.LoadOrStore(k, true); dup {
+							t.Errorf("key %d deleted twice", k)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cnt, ok := h.CheckInvariants()
+	if !ok {
+		t.Fatal("invariants violated after churn")
+	}
+	st := h.Stats()
+	if uint64(cnt) != st.Inserts-st.DeleteMins {
+		t.Fatalf("conservation: %d remaining, %d inserts, %d deletes",
+			cnt, st.Inserts, st.DeleteMins)
+	}
+	// Drain what's left and check it comes out sorted.
+	prev := int64(-1)
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if k <= prev {
+			t.Fatalf("drain out of order: %d after %d", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestConcurrentDrainNoLossNoDup(t *testing.T) {
+	h := New[int64, int64](0)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		h.Insert(i, i)
+	}
+	var wg sync.WaitGroup
+	results := make([][]int64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				results[w] = append(results[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := map[int64]bool{}
+	for _, res := range results {
+		for _, k := range res {
+			if all[k] {
+				t.Fatalf("key %d returned twice", k)
+			}
+			all[k] = true
+		}
+	}
+	if len(all) != n {
+		t.Fatalf("got %d keys, want %d", len(all), n)
+	}
+}

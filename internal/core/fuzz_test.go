@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzQueueModel drives the queue from a byte string against a map model:
+// every even byte inserts key b/2, every odd byte deletes the minimum.
+// Run with `go test -fuzz=FuzzQueueModel ./internal/core` for a deep
+// exploration; plain `go test` replays the seed corpus.
+func FuzzQueueModel(f *testing.F) {
+	f.Add([]byte{0, 2, 4, 1, 1, 1})
+	f.Add([]byte{})
+	f.Add([]byte{255, 254, 253, 252, 1, 3, 5})
+	f.Add([]byte{10, 10, 10, 1, 10, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := New[int64, int64](Config{Seed: 1})
+		model := map[int64]int64{}
+		step := int64(0)
+		for _, b := range data {
+			step++
+			if b%2 == 0 {
+				k := int64(b / 2)
+				q.Insert(k, step)
+				model[k] = step
+			} else {
+				k, v, ok := q.DeleteMin()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("DeleteMin on empty returned %d", k)
+					}
+					continue
+				}
+				var min int64 = 1 << 62
+				for mk := range model {
+					if mk < min {
+						min = mk
+					}
+				}
+				if !ok || k != min || v != model[min] {
+					t.Fatalf("DeleteMin = (%d,%d,%v), want (%d,%d,true)", k, v, ok, min, model[min])
+				}
+				delete(model, min)
+			}
+		}
+		got := q.CollectKeys(nil)
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("final keys %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final keys %v, want %v", got, want)
+			}
+		}
+		if _, err := q.checkLevels(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFloatKeys exercises a floating-point priority domain (common in
+// simulation time-stamps). NaN keys are excluded: NaN is unordered under <,
+// which breaks any comparison-based structure; callers must not use NaN
+// priorities.
+func TestFloatKeys(t *testing.T) {
+	q := New[float64, int](Config{Seed: 1})
+	keys := []float64{3.5, -0.0, 2.25, math.Inf(1), -17.5, 0.0, math.Inf(-1), 1e-300}
+	inserted := 0
+	for i, k := range keys {
+		if q.Insert(k, i) == Inserted {
+			inserted++
+		}
+	}
+	// -0.0 and 0.0 are equal under ==, so one of them was an update.
+	if inserted != len(keys)-1 {
+		t.Fatalf("inserted %d distinct keys, want %d", inserted, len(keys)-1)
+	}
+	var prev float64 = math.Inf(-1)
+	first := true
+	count := 0
+	for {
+		k, _, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		if !first && k < prev {
+			t.Fatalf("key %v after %v", k, prev)
+		}
+		prev, first = k, false
+		count++
+	}
+	if count != inserted {
+		t.Fatalf("drained %d, want %d", count, inserted)
+	}
+	if prev != math.Inf(1) {
+		t.Fatalf("last key = %v, want +Inf", prev)
+	}
+}
+
+// TestNegativeAndExtremeIntKeys checks boundary priorities.
+func TestNegativeAndExtremeIntKeys(t *testing.T) {
+	q := New[int64, int](Config{Seed: 2})
+	keys := []int64{math.MaxInt64, math.MinInt64, 0, -1, 1}
+	for i, k := range keys {
+		q.Insert(k, i)
+	}
+	want := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64}
+	for _, wk := range want {
+		k, _, ok := q.DeleteMin()
+		if !ok || k != wk {
+			t.Fatalf("DeleteMin = %d,%v want %d", k, ok, wk)
+		}
+	}
+}
+
+// TestUintKeys checks an unsigned key domain.
+func TestUintKeys(t *testing.T) {
+	q := New[uint32, struct{}](Config{})
+	for _, k := range []uint32{4e9, 0, 7, math.MaxUint32} {
+		q.Insert(k, struct{}{})
+	}
+	want := []uint32{0, 7, 4e9, math.MaxUint32}
+	for _, wk := range want {
+		if k, _, ok := q.DeleteMin(); !ok || k != wk {
+			t.Fatalf("got %d want %d", k, wk)
+		}
+	}
+}

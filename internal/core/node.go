@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skipqueue/internal/vclock"
+)
+
+// link is one level of a node: the forward pointer for that level and the
+// lock that protects splicing at that pointer (the paper's lock(node, level)).
+type link[K ordered, V any] struct {
+	mu   sync.Mutex
+	next atomic.Pointer[node[K, V]]
+}
+
+// node is a SkipQueue record (Figure 1 of the paper): a key, a value, a
+// tower of forward pointers with one lock per level, a whole-node lock that
+// guards against deletion racing with an in-progress insertion, the deleted
+// flag targeted by DeleteMin's SWAP, and the completion timestamp used by
+// the strict ordering mechanism.
+type node[K ordered, V any] struct {
+	key K
+
+	// value is stored behind an atomic pointer so that the update-in-place
+	// path of Insert and the value read in DeleteMin are race-free. A nil
+	// pointer means the value has been consumed by a DeleteMin (see
+	// Queue.Insert for the update/delete arbitration protocol).
+	value atomic.Pointer[V]
+
+	// deleted is the logical-deletion mark: zero while live, and the
+	// winning DeleteMin's claim ticket once claimed. The paper marks with a
+	// plain SWAP of a boolean; carrying a clock ticket drawn just before
+	// the winning atomic costs the same arbitration but leaves evidence of
+	// the SWAP serialization order that the Section 4.2 proof relies on —
+	// evidence the Definition 1 checker (internal/lincheck) verifies
+	// against. Tickets read later by a scanning DeleteMin are always
+	// smaller than that scanner's own subsequent ticket, because tickets
+	// are drawn from the same monotone clock after the observation.
+	deleted atomic.Int64
+
+	// timeStamp is vclock.MaxTime while the insertion is incomplete
+	// (Figure 10 line 19) and is set to the clock value once the node is
+	// fully linked (Figure 10 line 29).
+	timeStamp atomic.Int64
+
+	// nodeMu is the whole-node lock: held by Insert while the tower is being
+	// linked and acquired by the physical deletion before unlinking, so a
+	// node is never unlinked mid-insertion (Figure 10 line 20 / Figure 11
+	// line 27).
+	nodeMu sync.Mutex
+
+	// links[i] is level i (0-based; level 0 is the full linked list).
+	links []link[K, V]
+}
+
+// newNode allocates a node with the given tower height. The timestamp starts
+// at MaxTime so concurrent strict DeleteMins ignore the node until the
+// insertion completes.
+func newNode[K ordered, V any](key K, value *V, level int) *node[K, V] {
+	n := &node[K, V]{key: key, links: make([]link[K, V], level)}
+	n.value.Store(value)
+	n.timeStamp.Store(vclock.MaxTime)
+	return n
+}
+
+// level returns the tower height of the node.
+func (n *node[K, V]) level() int { return len(n.links) }
+
+// loadNext returns the level-i successor.
+func (n *node[K, V]) loadNext(i int) *node[K, V] { return n.links[i].next.Load() }
+
+// storeNext sets the level-i successor. Callers must hold n.links[i].mu
+// except during single-threaded construction.
+func (n *node[K, V]) storeNext(i int, to *node[K, V]) { n.links[i].next.Store(to) }

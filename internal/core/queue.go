@@ -1,0 +1,504 @@
+// Package core implements the SkipQueue of Lotan and Shavit
+// ("Skiplist-Based Concurrent Priority Queues", IPPS 2000): a concurrent
+// priority queue built on Pugh's lock-based concurrent skiplist.
+//
+// The structure follows the paper's pseudocode closely:
+//
+//   - Insert (Figure 10) searches for the predecessor at every level, locks
+//     the new node, and splices it in one level at a time from bottom to
+//     top, holding only one predecessor level-lock at a time. When the key
+//     is already present the value is updated in place.
+//   - DeleteMin (Figure 11) reads the shared clock, traverses the bottom
+//     level from the head, skips nodes whose completion timestamp is newer
+//     than its own start time, and claims the first unmarked node with an
+//     atomic swap on its deleted flag. It then performs the ordinary
+//     skiplist deletion: top-down, two locks per level, unlinking the
+//     incoming pointer first and then pointing the removed node backwards so
+//     concurrent traversers that still hold a reference simply fall back.
+//
+// The relaxed variant of Section 5.4 is the same code with the timestamp
+// read and test compiled out; it may return an element inserted concurrently
+// with the DeleteMin if that element is smaller than the strict minimum.
+//
+// All locking is distributed: there is no root lock, no global counter, and
+// rebalancing is probabilistic, which is exactly the property the paper
+// exploits to scale past heap-based queues.
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"skipqueue/internal/vclock"
+	"skipqueue/internal/xrand"
+)
+
+// ordered is the constraint for priority keys. It mirrors cmp.Ordered and is
+// spelled out here so the package documents exactly what it relies on:
+// a total order given by < on the key type.
+type ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}
+
+// DefaultMaxLevel caps node towers at 2^24 expected elements with p = 0.5,
+// and far more with p = 0.25. The paper sets maxLevel = log N for an assumed
+// bound N on the queue size; 24 is a generous default for that bound.
+const DefaultMaxLevel = 24
+
+// DefaultP is the probability that a node's tower grows one more level.
+// The paper's skiplist (Pugh) uses a geometric distribution; p = 0.5 gives
+// the classic "half the nodes per level" structure described in Section 2.
+const DefaultP = 0.5
+
+// Config carries the tunables of a Queue. The zero value is usable: it is
+// normalized to the defaults by New.
+type Config struct {
+	// MaxLevel bounds tower height (the paper's queue->maxLevel).
+	MaxLevel int
+	// P is the geometric level probability (the paper's p).
+	P float64
+	// Relaxed disables the timestamp mechanism (Section 5.4). DeleteMin
+	// then may return an item whose Insert was concurrent with it, if that
+	// item sorts before the strict minimum.
+	Relaxed bool
+	// Seed seeds the level generator. Two queues with the same seed and the
+	// same single-threaded operation sequence build identical towers.
+	Seed uint64
+	// Retire, if non-nil, receives every physically unlinked node's
+	// (opaque) pointer together with its deletion timestamp. It is used by
+	// the simulator-faithful reclamation scheme; the native library leaves
+	// it nil and relies on the Go garbage collector.
+	Retire func(deletedAt int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLevel <= 0 {
+		c.MaxLevel = DefaultMaxLevel
+	}
+	if c.P <= 0 || c.P >= 1 {
+		c.P = DefaultP
+	}
+	return c
+}
+
+// Stats are monotonically increasing operation counters, readable at any
+// time with Queue.Stats. They power the benchmark harness and the
+// contention analyses in EXPERIMENTS.md.
+type Stats struct {
+	Inserts     uint64 // completed insertions of new keys
+	Updates     uint64 // insertions that updated an existing key in place
+	DeleteMins  uint64 // DeleteMin calls that returned an element
+	Empties     uint64 // DeleteMin calls that returned empty
+	ScanSteps   uint64 // bottom-level nodes visited by DeleteMin scans
+	ScanSkips   uint64 // nodes skipped because marked or too young
+	LockRetries uint64 // getLock re-acquisitions after a concurrent change
+}
+
+type statsCounters struct {
+	inserts     atomic.Uint64
+	updates     atomic.Uint64
+	deleteMins  atomic.Uint64
+	empties     atomic.Uint64
+	scanSteps   atomic.Uint64
+	scanSkips   atomic.Uint64
+	lockRetries atomic.Uint64
+}
+
+// Queue is the SkipQueue. It is safe for any number of goroutines to call
+// Insert and DeleteMin concurrently. Construct with New.
+type Queue[K ordered, V any] struct {
+	cfg   Config
+	clock *vclock.Clock
+	head  *node[K, V] // sentinel, full-height tower, key unused
+	tail  *node[K, V] // sentinel terminating every level, key unused
+	size  atomic.Int64
+	stats statsCounters
+
+	// levelSeed feeds per-goroutine level generators: each call that needs
+	// a tower height derives a fresh generator state with an atomic add, so
+	// concurrent Inserts never contend on a shared RNG.
+	levelSeed atomic.Uint64
+
+	// tracer, when non-nil, receives one event per completed operation,
+	// carrying the clock stamps the correctness proof of Section 4.2 orders
+	// operations by. Set with SetTracer before any concurrent use; used by
+	// the Definition 1 checker (internal/lincheck).
+	tracer func(TraceEvent[K])
+}
+
+// TraceEvent describes one completed operation for history checking.
+type TraceEvent[K ordered] struct {
+	// Insert is true for an Insert that linked a new node, false for a
+	// DeleteMin. (Updates of existing keys are not traced.)
+	Insert bool
+	// Key is the inserted key or the deleted key (valid if OK).
+	Key K
+	// OK is false for a DeleteMin that returned EMPTY.
+	OK bool
+	// Stamp is the insert's completion timestamp (the value written to the
+	// node, drawn before the write — Figure 10 line 29), or the delete's
+	// serialization timestamp (its successful SWAP for a successful delete,
+	// its response for an EMPTY one) — the serialization points used by the
+	// paper's proof.
+	Stamp int64
+	// Done, for inserts, is drawn after the timestamp write completed: the
+	// earliest evidence that the insert's last instruction has executed.
+	// An insert precedes a delete in real time iff its response precedes
+	// the delete's invocation; Done < delete.Start is the checkable
+	// sufficient condition (Stamp alone is drawn before the write and can
+	// lag arbitrarily behind its own store).
+	Done int64
+	// Start is the delete's invocation timestamp (the clock read of Figure
+	// 11 line 1); zero for inserts.
+	Start int64
+}
+
+// SetTracer installs fn to observe operations. It must be called before the
+// queue is shared between goroutines and requires the strict (default)
+// ordering mode, whose clock reads define the recorded stamps.
+func (q *Queue[K, V]) SetTracer(fn func(TraceEvent[K])) {
+	if q.cfg.Relaxed {
+		panic("core: SetTracer requires the strict ordering mode")
+	}
+	q.tracer = fn
+}
+
+// New returns an empty SkipQueue configured by cfg.
+func New[K ordered, V any](cfg Config) *Queue[K, V] {
+	cfg = cfg.withDefaults()
+	q := &Queue[K, V]{cfg: cfg, clock: new(vclock.Clock)}
+	q.levelSeed.Store(cfg.Seed)
+	var zeroK K
+	q.tail = newNode[K, V](zeroK, nil, cfg.MaxLevel)
+	q.head = newNode[K, V](zeroK, nil, cfg.MaxLevel)
+	// Sentinels are born marked: a DeleteMin scan that bounces onto the
+	// head via a removed node's backward pointer (see remove) must skip it,
+	// never claim it.
+	q.head.deleted.Store(1)
+	q.tail.deleted.Store(1)
+	for i := 0; i < cfg.MaxLevel; i++ {
+		q.head.storeNext(i, q.tail)
+		q.tail.storeNext(i, nil)
+	}
+	return q
+}
+
+// Len returns the number of elements currently in the queue. The value is
+// exact when the queue is quiescent and a best-effort snapshot otherwise.
+func (q *Queue[K, V]) Len() int { return int(q.size.Load()) }
+
+// Relaxed reports whether the queue runs in relaxed (no-timestamp) mode.
+func (q *Queue[K, V]) Relaxed() bool { return q.cfg.Relaxed }
+
+// MaxLevel returns the configured tower-height cap.
+func (q *Queue[K, V]) MaxLevel() int { return q.cfg.MaxLevel }
+
+// Stats returns a snapshot of the operation counters.
+func (q *Queue[K, V]) Stats() Stats {
+	return Stats{
+		Inserts:     q.stats.inserts.Load(),
+		Updates:     q.stats.updates.Load(),
+		DeleteMins:  q.stats.deleteMins.Load(),
+		Empties:     q.stats.empties.Load(),
+		ScanSteps:   q.stats.scanSteps.Load(),
+		ScanSkips:   q.stats.scanSkips.Load(),
+		LockRetries: q.stats.lockRetries.Load(),
+	}
+}
+
+// randomLevel implements the paper's randomLevel (Figure 9): a geometric
+// draw capped at maxLevel.
+func (q *Queue[K, V]) randomLevel() int {
+	r := xrand.NewRand(q.levelSeed.Add(0x9e3779b97f4a7c15))
+	return r.GeometricLevel(q.cfg.P, q.cfg.MaxLevel)
+}
+
+// getLock implements the paper's getLock (Figure 9): starting from node1,
+// advance along level to the last node with key < key, lock that node's
+// level, then re-validate and slide the lock forward past any node that was
+// inserted (or any backward pointer left by a deletion) before the lock was
+// won. On return the caller holds node1.links[level].mu.
+func (q *Queue[K, V]) getLock(node1 *node[K, V], key K, level int) *node[K, V] {
+	node2 := node1.loadNext(level)
+	for node2 != q.tail && node2.key < key {
+		node1 = node2
+		node2 = node1.loadNext(level)
+	}
+	node1.links[level].mu.Lock()
+	node2 = node1.loadNext(level)
+	for node2 != q.tail && node2.key < key {
+		q.stats.lockRetries.Add(1)
+		node1.links[level].mu.Unlock()
+		node1 = node2
+		node1.links[level].mu.Lock()
+		node2 = node1.loadNext(level)
+	}
+	return node1
+}
+
+// getLockFor is the deletion variant of getLock: it locks the immediate
+// level-i predecessor of a specific victim node, identified by pointer, not
+// key. Identifying by pointer matters because the library tolerates a
+// transient second node with an equal key (see the update/retry protocol in
+// Insert); unlinking by key alone could splice out both.
+func (q *Queue[K, V]) getLockFor(start, victim *node[K, V], level int) *node[K, V] {
+	node1 := start
+	node2 := node1.loadNext(level)
+	for node2 != victim && node2 != q.tail && !(victim.key < node2.key) {
+		node1 = node2
+		node2 = node1.loadNext(level)
+	}
+	node1.links[level].mu.Lock()
+	for node1.loadNext(level) != victim {
+		node2 = node1.loadNext(level)
+		if node2 == q.tail || victim.key < node2.key {
+			// The victim is not reachable ahead of node1 on this level.
+			// This can only be a transient view caused by a backward
+			// pointer; restart from the head.
+			q.stats.lockRetries.Add(1)
+			node1.links[level].mu.Unlock()
+			node1 = q.head
+			node1.links[level].mu.Lock()
+			continue
+		}
+		q.stats.lockRetries.Add(1)
+		node1.links[level].mu.Unlock()
+		node1 = node2
+		node1.links[level].mu.Lock()
+	}
+	return node1
+}
+
+// search fills saved with, for each level, the last node whose key is < key
+// (Figure 10 lines 1–9 / Figure 11 lines 15–22). saved must have length
+// MaxLevel.
+func (q *Queue[K, V]) search(key K, saved []*node[K, V]) {
+	node1 := q.head
+	for i := q.cfg.MaxLevel - 1; i >= 0; i-- {
+		node2 := node1.loadNext(i)
+		for node2 != q.tail && node2.key < key {
+			node1 = node2
+			node2 = node1.loadNext(i)
+		}
+		saved[i] = node1
+	}
+}
+
+// savedBuf returns a scratch slice for predecessor searches. Predecessor
+// arrays are small and short-lived; a fresh allocation per operation is the
+// simple, escape-analysis-friendly choice, and benchmarks showed no win from
+// pooling them.
+func (q *Queue[K, V]) savedBuf() []*node[K, V] {
+	return make([]*node[K, V], q.cfg.MaxLevel)
+}
+
+// InsertResult reports what an Insert did.
+type InsertResult int
+
+const (
+	// Inserted means a new node was linked into the queue.
+	Inserted InsertResult = iota
+	// Updated means an existing node with the same key had its value
+	// replaced in place (the paper's UPDATED return, Figure 10 line 15).
+	Updated
+)
+
+// Insert adds key with the given value, or replaces the value of an existing
+// equal key (Figure 10). It returns whether a node was inserted or updated.
+//
+// When the existing equal-key node has already been claimed by a concurrent
+// DeleteMin, the paper's code would overwrite a value that is about to be
+// (or already was) handed out, silently losing the insert. This
+// implementation instead arbitrates with an atomic value swap: if the
+// deleter consumed the value first, the Insert retries from scratch and
+// links a fresh node, so no inserted value is ever lost.
+func (q *Queue[K, V]) Insert(key K, value V) InsertResult {
+	savedNodes := q.savedBuf()
+	for {
+		q.search(key, savedNodes)
+
+		// Lock level 0 of the predecessor; if the key is present, update in
+		// place under that lock (Figure 10 lines 10–16).
+		node1 := q.getLock(savedNodes[0], key, 0)
+		node2 := node1.loadNext(0)
+		if node2 != q.tail && node2.key == key {
+			old := node2.value.Swap(&value)
+			node1.links[0].mu.Unlock()
+			if old != nil {
+				q.stats.updates.Add(1)
+				return Updated
+			}
+			// A DeleteMin consumed the old value between our search and the
+			// swap: the node is logically dead and our value was not taken.
+			// Put the nil back for hygiene and retry with a fresh node.
+			node2.value.CompareAndSwap(&value, nil)
+			runtime.Gosched()
+			continue
+		}
+
+		level := q.randomLevel()
+		nn := newNode[K, V](key, &value, level)
+		nn.nodeMu.Lock() // Figure 10 line 20: lock the whole node until fully linked.
+
+		for i := 0; i < level; i++ {
+			if i != 0 { // level 0 is already locked
+				node1 = q.getLock(savedNodes[i], key, i)
+			}
+			nn.storeNext(i, node1.loadNext(i))
+			node1.storeNext(i, nn)
+			node1.links[i].mu.Unlock()
+		}
+
+		nn.nodeMu.Unlock()
+		stamp := q.clock.Now()
+		nn.timeStamp.Store(stamp) // Figure 10 line 29
+		q.size.Add(1)
+		q.stats.inserts.Add(1)
+		if q.tracer != nil {
+			q.tracer(TraceEvent[K]{Insert: true, Key: key, OK: true, Stamp: stamp, Done: q.clock.Now()})
+		}
+		return Inserted
+	}
+}
+
+// DeleteMin removes and returns the minimum element (Figure 11). In strict
+// mode the returned element is the minimum of all elements whose insertions
+// completed before this call began, minus previously deleted elements
+// (Definition 1 of the paper); in relaxed mode a smaller, concurrently
+// inserted element may be returned instead. ok is false when no eligible
+// element exists.
+func (q *Queue[K, V]) DeleteMin() (key K, value V, ok bool) {
+	var t int64
+	if !q.cfg.Relaxed {
+		t = q.clock.Now() // Figure 11 line 1
+	}
+
+	// Scan the bottom level for the first claimable node (lines 2–10). The
+	// claim (the SWAP of line 5) installs a ticket drawn from the clock just
+	// before the winning atomic; see node.deleted.
+	var claim int64
+	victim := q.head.loadNext(0)
+	for victim != q.tail {
+		q.stats.scanSteps.Add(1)
+		if (q.cfg.Relaxed || victim.timeStamp.Load() < t) && victim.deleted.Load() == 0 {
+			claim = q.clock.Now()
+			if victim.deleted.CompareAndSwap(0, claim) {
+				break
+			}
+		}
+		q.stats.scanSkips.Add(1)
+		victim = victim.loadNext(0)
+	}
+	if victim == q.tail {
+		q.stats.empties.Add(1)
+		if q.tracer != nil {
+			// An EMPTY delete serializes at its response (Section 4.2).
+			q.tracer(TraceEvent[K]{Start: t, Stamp: q.clock.Now()})
+		}
+		return key, value, false // EMPTY (line 14)
+	}
+	key = victim.key
+	if v := victim.value.Swap(nil); v != nil {
+		value = *v
+	}
+	q.size.Add(-1)
+	q.stats.deleteMins.Add(1)
+
+	q.remove(victim)
+	if q.tracer != nil {
+		q.tracer(TraceEvent[K]{Key: key, OK: true, Start: t, Stamp: claim})
+	}
+	return key, value, true
+}
+
+// remove physically unlinks a claimed node from every level (Figure 11
+// lines 15–37): search for the predecessors, take the whole-node lock so an
+// in-progress insertion finishes first, then unlink top-down holding the
+// predecessor's and the victim's level locks. The victim's forward pointer
+// is redirected backwards (line 32) so concurrent traversers holding a
+// reference to it fall back to a live node instead of skipping ahead past
+// unvisited keys.
+func (q *Queue[K, V]) remove(victim *node[K, V]) {
+	savedNodes := q.savedBuf()
+	q.search(victim.key, savedNodes)
+
+	victim.nodeMu.Lock() // Figure 11 line 27
+	for i := victim.level() - 1; i >= 0; i-- {
+		node1 := q.getLockFor(savedNodes[i], victim, i)
+		victim.links[i].mu.Lock()
+		node1.storeNext(i, victim.loadNext(i))
+		victim.storeNext(i, node1) // point backwards (line 32)
+		victim.links[i].mu.Unlock()
+		node1.links[i].mu.Unlock()
+	}
+	victim.nodeMu.Unlock()
+
+	if q.cfg.Retire != nil {
+		q.cfg.Retire(q.clock.Now()) // the node's deletion timestamp (Section 3, GC)
+	}
+}
+
+// PeekMin returns the current minimum without removing it. The result is
+// advisory: by the time the caller acts on it, a concurrent DeleteMin may
+// have claimed the element. ok is false when the queue has no unclaimed
+// element.
+func (q *Queue[K, V]) PeekMin() (key K, value V, ok bool) {
+	n := q.head.loadNext(0)
+	for n != q.tail {
+		if n.deleted.Load() == 0 {
+			if v := n.value.Load(); v != nil {
+				return n.key, *v, true
+			}
+		}
+		n = n.loadNext(0)
+	}
+	return key, value, false
+}
+
+// CollectKeys appends the keys of all unclaimed elements in ascending order.
+// It is intended for tests and debugging on quiescent queues; under
+// concurrency the snapshot is best-effort.
+func (q *Queue[K, V]) CollectKeys(dst []K) []K {
+	n := q.head.loadNext(0)
+	for n != q.tail {
+		if n.deleted.Load() == 0 {
+			dst = append(dst, n.key)
+		}
+		n = n.loadNext(0)
+	}
+	return dst
+}
+
+// checkLevels verifies (on a quiescent queue) that every level is sorted and
+// that every node on level i is present on all lower levels. It returns the
+// number of nodes on the bottom level. Tests use it as the structural
+// invariant of the skiplist.
+func (q *Queue[K, V]) checkLevels() (int, error) {
+	onBottom := map[*node[K, V]]bool{}
+	count := 0
+	for n := q.head.loadNext(0); n != q.tail; n = n.loadNext(0) {
+		onBottom[n] = true
+		count++
+		if nx := n.loadNext(0); nx != q.tail && !(n.key < nx.key) {
+			return 0, errOutOfOrder
+		}
+	}
+	for i := 1; i < q.cfg.MaxLevel; i++ {
+		var prev *node[K, V]
+		for n := q.head.loadNext(i); n != q.tail; n = n.loadNext(i) {
+			if !onBottom[n] {
+				return 0, errLevelOrphan
+			}
+			if n.level() <= i {
+				return 0, errLevelHeight
+			}
+			if prev != nil && !(prev.key < n.key) {
+				return 0, errOutOfOrder
+			}
+			prev = n
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newIntQueue(t testing.TB, cfg Config) *Queue[int64, int64] {
+	t.Helper()
+	return New[int64, int64](cfg)
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	if _, _, ok := q.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty queue returned ok")
+	}
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty queue returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if st := q.Stats(); st.Empties != 1 {
+		t.Fatalf("Empties = %d, want 1", st.Empties)
+	}
+}
+
+func TestInsertDeleteSingle(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	if got := q.Insert(42, 420); got != Inserted {
+		t.Fatalf("Insert = %v, want Inserted", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	k, v, ok := q.DeleteMin()
+	if !ok || k != 42 || v != 420 {
+		t.Fatalf("DeleteMin = (%d,%d,%v), want (42,420,true)", k, v, ok)
+	}
+	if _, _, ok := q.DeleteMin(); ok {
+		t.Fatal("second DeleteMin returned ok")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	q.Insert(7, 1)
+	if got := q.Insert(7, 2); got != Updated {
+		t.Fatalf("Insert of duplicate key = %v, want Updated", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	_, v, ok := q.DeleteMin()
+	if !ok || v != 2 {
+		t.Fatalf("DeleteMin value = %d,%v, want 2,true", v, ok)
+	}
+}
+
+func TestSortedDrain(t *testing.T) {
+	for _, relaxed := range []bool{false, true} {
+		q := New[int64, int64](Config{Relaxed: relaxed, Seed: 1})
+		rng := rand.New(rand.NewSource(7))
+		const n = 2000
+		keys := rng.Perm(n)
+		for _, k := range keys {
+			q.Insert(int64(k), int64(k)*10)
+		}
+		if q.Len() != n {
+			t.Fatalf("relaxed=%v: Len = %d, want %d", relaxed, q.Len(), n)
+		}
+		if cnt, err := q.checkLevels(); err != nil || cnt != n {
+			t.Fatalf("relaxed=%v: invariant: cnt=%d err=%v", relaxed, cnt, err)
+		}
+		for i := 0; i < n; i++ {
+			k, v, ok := q.DeleteMin()
+			if !ok || k != int64(i) || v != int64(i)*10 {
+				t.Fatalf("relaxed=%v: DeleteMin #%d = (%d,%d,%v)", relaxed, i, k, v, ok)
+			}
+		}
+		if _, _, ok := q.DeleteMin(); ok {
+			t.Fatal("drained queue returned an element")
+		}
+	}
+}
+
+func TestPeekMin(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	for _, k := range []int64{30, 10, 20} {
+		q.Insert(k, k)
+	}
+	k, v, ok := q.PeekMin()
+	if !ok || k != 10 || v != 10 {
+		t.Fatalf("PeekMin = (%d,%d,%v), want (10,10,true)", k, v, ok)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("PeekMin changed Len to %d", q.Len())
+	}
+	q.DeleteMin()
+	if k, _, _ := q.PeekMin(); k != 20 {
+		t.Fatalf("PeekMin after delete = %d, want 20", k)
+	}
+}
+
+func TestCollectKeys(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	want := []int64{1, 3, 5, 9}
+	for _, k := range []int64{9, 3, 1, 5} {
+		q.Insert(k, 0)
+	}
+	got := q.CollectKeys(nil)
+	if len(got) != len(want) {
+		t.Fatalf("CollectKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CollectKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	q := New[string, int](Config{})
+	words := []string{"pear", "apple", "quince", "banana"}
+	for i, w := range words {
+		q.Insert(w, i)
+	}
+	var got []string
+	for {
+		k, _, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if !sort.StringsAreSorted(got) || len(got) != len(words) {
+		t.Fatalf("string drain = %v", got)
+	}
+}
+
+func TestMaxLevelRespected(t *testing.T) {
+	q := New[int64, int64](Config{MaxLevel: 3, P: 0.9, Seed: 3})
+	for i := int64(0); i < 500; i++ {
+		q.Insert(i, i)
+	}
+	for n := q.head.loadNext(0); n != q.tail; n = n.loadNext(0) {
+		if n.level() > 3 {
+			t.Fatalf("node level %d exceeds MaxLevel 3", n.level())
+		}
+	}
+	if _, err := q.checkLevels(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxLevel != DefaultMaxLevel || cfg.P != DefaultP {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	cfg = Config{MaxLevel: -1, P: 1.5}.withDefaults()
+	if cfg.MaxLevel != DefaultMaxLevel || cfg.P != DefaultP {
+		t.Fatalf("normalized = %+v", cfg)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	q.Insert(1, 1)
+	q.Insert(1, 2)
+	q.Insert(2, 2)
+	q.DeleteMin()
+	q.DeleteMin()
+	q.DeleteMin()
+	st := q.Stats()
+	if st.Inserts != 2 || st.Updates != 1 || st.DeleteMins != 2 || st.Empties != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ScanSteps == 0 {
+		t.Fatal("ScanSteps did not advance")
+	}
+}
+
+// TestPropertySequentialModel cross-checks the queue against a sorted-slice
+// model over random operation strings.
+func TestPropertySequentialModel(t *testing.T) {
+	f := func(ops []int16, relaxed bool, seed uint64) bool {
+		q := New[int64, int64](Config{Relaxed: relaxed, Seed: seed})
+		model := map[int64]int64{}
+		for _, op := range ops {
+			if op >= 0 { // insert key op%64
+				k := int64(op % 64)
+				q.Insert(k, k+1000)
+				model[k] = k + 1000
+			} else { // delete-min
+				k, v, ok := q.DeleteMin()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				var min int64 = 1 << 62
+				for mk := range model {
+					if mk < min {
+						min = mk
+					}
+				}
+				if !ok || k != min || v != model[min] {
+					return false
+				}
+				delete(model, min)
+			}
+		}
+		got := q.CollectKeys(nil)
+		if len(got) != len(model) {
+			return false
+		}
+		for _, k := range got {
+			if _, present := model[k]; !present {
+				return false
+			}
+		}
+		_, err := q.checkLevels()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLevelDistribution checks that randomLevel respects the cap and
+// stays geometric-ish for several probabilities.
+func TestPropertyLevelDistribution(t *testing.T) {
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		q := New[int64, int64](Config{P: p, MaxLevel: 16, Seed: 42})
+		counts := make([]int, 17)
+		const draws = 200000
+		for i := 0; i < draws; i++ {
+			l := q.randomLevel()
+			if l < 1 || l > 16 {
+				t.Fatalf("p=%v: level %d out of range", p, l)
+			}
+			counts[l]++
+		}
+		frac1 := float64(counts[1]) / draws
+		if want := 1 - p; frac1 < want-0.02 || frac1 > want+0.02 {
+			t.Fatalf("p=%v: fraction at level 1 = %.3f, want about %.3f", p, frac1, 1-p)
+		}
+	}
+}
+
+func TestConcurrentInsertThenDrain(t *testing.T) {
+	q := newIntQueue(t, Config{Seed: 9})
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := int64(i*workers + w)
+				q.Insert(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", q.Len(), workers*perWorker)
+	}
+	if _, err := q.checkLevels(); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for i := 0; i < workers*perWorker; i++ {
+		k, _, ok := q.DeleteMin()
+		if !ok {
+			t.Fatalf("queue empty after %d deletions", i)
+		}
+		if k != prev+1 {
+			t.Fatalf("DeleteMin returned %d after %d", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	for _, relaxed := range []bool{false, true} {
+		q := New[int64, int64](Config{Relaxed: relaxed, Seed: 17})
+		const workers = 8
+		const perWorker = 3000
+		var wg sync.WaitGroup
+		var deleted sync.Map
+		var deleteCount, emptyCount [workers]int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w) + 100))
+				for i := 0; i < perWorker; i++ {
+					if rng.Intn(2) == 0 {
+						k := int64(w)*1_000_000 + int64(i) // unique keys per worker
+						q.Insert(k, k)
+					} else {
+						if k, v, ok := q.DeleteMin(); ok {
+							if k != v {
+								t.Errorf("value mismatch: key=%d value=%d", k, v)
+							}
+							if _, dup := deleted.LoadOrStore(k, true); dup {
+								t.Errorf("key %d deleted twice", k)
+							}
+							deleteCount[w]++
+						} else {
+							emptyCount[w]++
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Conservation: inserts == deletes + remaining.
+		st := q.Stats()
+		remaining := int64(len(q.CollectKeys(nil)))
+		if int64(st.Inserts) != int64(st.DeleteMins)+remaining {
+			t.Fatalf("relaxed=%v: conservation failed: %d inserts, %d deletes, %d remaining",
+				relaxed, st.Inserts, st.DeleteMins, remaining)
+		}
+		if _, err := q.checkLevels(); err != nil {
+			t.Fatalf("relaxed=%v: %v", relaxed, err)
+		}
+	}
+}
+
+// TestConcurrentDuplicateKeys hammers the update/delete arbitration protocol:
+// many goroutines insert the same small key set while others delete, and no
+// inserted value may ever be lost without being either delivered or still
+// present (as an update or element) at the end.
+func TestConcurrentDuplicateKeys(t *testing.T) {
+	q := newIntQueue(t, Config{Seed: 23})
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	var delivered [workers][]int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				if rng.Intn(2) == 0 {
+					q.Insert(int64(rng.Intn(8)), int64(w*perWorker+i))
+				} else {
+					if k, v, ok := q.DeleteMin(); ok {
+						if k < 0 || k > 7 {
+							t.Errorf("unexpected key %d", k)
+						}
+						delivered[w] = append(delivered[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every delivered value must be unique: a value handed out twice would
+	// mean an update raced a delete and both observed it.
+	seen := map[int64]bool{}
+	for _, d := range delivered {
+		for _, v := range d {
+			if seen[v] {
+				t.Fatalf("value %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if _, err := q.checkLevels(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictOrderingUnderConcurrency checks the observable part of
+// Definition 1 on quiescent cuts: after all inserts complete, every
+// DeleteMin must return the global minimum of what remains.
+func TestStrictOrderingUnderConcurrency(t *testing.T) {
+	q := newIntQueue(t, Config{Seed: 31})
+	const n = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				q.Insert(int64(i), int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Concurrent deleters: each local sequence must be increasing, and the
+	// union must be exactly 0..n-1 (no loss, no duplication).
+	results := make([][]int64, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k, _, ok := q.DeleteMin()
+				if !ok {
+					return
+				}
+				results[w] = append(results[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	all := map[int64]bool{}
+	for w, res := range results {
+		for i := 1; i < len(res); i++ {
+			if res[i] <= res[i-1] {
+				t.Fatalf("worker %d saw non-increasing keys %d then %d", w, res[i-1], res[i])
+			}
+		}
+		for _, k := range res {
+			if all[k] {
+				t.Fatalf("key %d returned twice", k)
+			}
+			all[k] = true
+		}
+	}
+	if len(all) != n {
+		t.Fatalf("got %d distinct keys, want %d", len(all), n)
+	}
+}
+
+func TestRetireCallback(t *testing.T) {
+	var mu sync.Mutex
+	var stamps []int64
+	q := New[int64, int64](Config{Retire: func(at int64) {
+		mu.Lock()
+		stamps = append(stamps, at)
+		mu.Unlock()
+	}})
+	for i := int64(0); i < 10; i++ {
+		q.Insert(i, i)
+	}
+	for i := 0; i < 10; i++ {
+		q.DeleteMin()
+	}
+	if len(stamps) != 10 {
+		t.Fatalf("retire callback ran %d times, want 10", len(stamps))
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("deletion timestamps not increasing: %v", stamps)
+		}
+	}
+}

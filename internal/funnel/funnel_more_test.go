@@ -1,0 +1,127 @@
+package funnel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMixedKindsDontCombine checks that inserts and delete-mins never merge
+// into one batch: every operation's effect must be observed individually.
+func TestMixedKindsDontCombine(t *testing.T) {
+	l := New[int64, int64](Config{Spins: 128})
+	const n = 4000
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < n/8; i++ {
+				if rng.Intn(2) == 0 {
+					l.Insert(int64(w*n+i), int64(w*n+i))
+				} else if _, v, ok := l.DeleteMin(); ok {
+					if _, dup := popped.LoadOrStore(v, true); dup {
+						t.Errorf("value %d delivered twice", v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ok := l.CheckInvariants(); !ok {
+		t.Fatal("invariants violated")
+	}
+}
+
+// TestSingleThreadSkipsFunnel verifies the adaptive shortcut: alone, every
+// operation takes the lock directly and no combining happens.
+func TestSingleThreadSkipsFunnel(t *testing.T) {
+	l := New[int64, int64](Config{})
+	for i := int64(0); i < 100; i++ {
+		l.Insert(i, i)
+	}
+	for i := 0; i < 100; i++ {
+		l.DeleteMin()
+	}
+	st := l.Stats()
+	if st.Combines != 0 {
+		t.Fatalf("single-threaded run combined %d times", st.Combines)
+	}
+	if st.LockAcqs != 200 {
+		t.Fatalf("LockAcqs = %d, want 200", st.LockAcqs)
+	}
+	if st.MaxBatch > 1 {
+		t.Fatalf("MaxBatch = %d on single-threaded run", st.MaxBatch)
+	}
+}
+
+// TestBatchAccounting: lock acquisitions plus combines must account for
+// every operation (each op either acquired the lock or was captured).
+func TestBatchAccounting(t *testing.T) {
+	l := New[int64, int64](Config{Spins: 256})
+	const total = 8 * 1000
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Insert(int64(w*1000+i), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.LockAcqs+st.Combines != total {
+		t.Fatalf("accounting: %d lock acqs + %d combines != %d ops",
+			st.LockAcqs, st.Combines, total)
+	}
+	if l.Len() != total {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+// TestEmptyBatchedDeletes: when more delete-mins combine than elements
+// exist, the excess must report empty, never fabricate results.
+func TestEmptyBatchedDeletes(t *testing.T) {
+	l := New[int64, int64](Config{Spins: 512})
+	l.Insert(1, 10)
+	l.Insert(2, 20)
+	const deleters = 16
+	var wg sync.WaitGroup
+	okCount := make([]int, deleters)
+	for w := 0; w < deleters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if _, _, ok := l.DeleteMin(); ok {
+				okCount[w] = 1
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := 0
+	for _, c := range okCount {
+		got += c
+	}
+	if got != 2 {
+		t.Fatalf("%d deletes succeeded, want 2", got)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+// TestConfigDefaults pins the normalization.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Layers != 3 || c.MaxWidth != 32 || c.Spins != 64 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Config{Layers: -1, MaxWidth: -1, Spins: -1}.withDefaults()
+	if c.Layers != 3 || c.MaxWidth != 32 || c.Spins != 64 {
+		t.Fatalf("normalized = %+v", c)
+	}
+}

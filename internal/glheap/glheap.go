@@ -1,0 +1,122 @@
+// Package glheap is the naive baseline underneath everything in the paper's
+// related work: a sequential binary heap behind one global lock. The paper
+// notes that a single-lock linked list "had already been shown to perform
+// rather poorly" and the whole heap literature it cites exists to break this
+// structure's serialization; it is implemented here so the benchmarks can
+// show the gap that motivates both Hunt's fine-grained heap and the
+// SkipQueue.
+package glheap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ordered mirrors cmp.Ordered.
+type ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}
+
+type item[K ordered, V any] struct {
+	key K
+	val V
+}
+
+// Heap is a mutex-guarded binary min-heap (multiset semantics: duplicate
+// keys coexist). All methods are safe for concurrent use; all of them
+// serialize on one lock, which is the point.
+type Heap[K ordered, V any] struct {
+	mu    sync.Mutex
+	items []item[K, V]
+	size  atomic.Int64
+}
+
+// New returns an empty heap.
+func New[K ordered, V any]() *Heap[K, V] {
+	return &Heap[K, V]{}
+}
+
+// Len returns the number of elements.
+func (h *Heap[K, V]) Len() int { return int(h.size.Load()) }
+
+// Insert adds an element.
+func (h *Heap[K, V]) Insert(key K, val V) {
+	h.mu.Lock()
+	h.items = append(h.items, item[K, V]{key, val})
+	h.siftUp(len(h.items) - 1)
+	h.mu.Unlock()
+	h.size.Add(1)
+}
+
+// DeleteMin removes and returns the minimum element.
+func (h *Heap[K, V]) DeleteMin() (key K, val V, ok bool) {
+	h.mu.Lock()
+	if len(h.items) == 0 {
+		h.mu.Unlock()
+		return key, val, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	h.mu.Unlock()
+	h.size.Add(-1)
+	return top.key, top.val, true
+}
+
+// PeekMin returns the minimum element without removing it.
+func (h *Heap[K, V]) PeekMin() (key K, val V, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.items) == 0 {
+		return key, val, false
+	}
+	return h.items[0].key, h.items[0].val, true
+}
+
+func (h *Heap[K, V]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(h.items[i].key < h.items[parent].key) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[K, V]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.items[left].key < h.items[smallest].key {
+			smallest = left
+		}
+		if right < n && h.items[right].key < h.items[smallest].key {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// CheckInvariants verifies the heap order on a quiescent heap.
+func (h *Heap[K, V]) CheckInvariants() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 1; i < len(h.items); i++ {
+		if h.items[i].key < h.items[(i-1)/2].key {
+			return false
+		}
+	}
+	return len(h.items) == int(h.size.Load())
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFunnelDelMinSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := RunFunnelDelMin(&buf, Options{Scale: 0.02, MaxProcs: 8})
+	if len(results) != 8 { // 4 proc levels x 2 structures
+		t.Fatalf("results = %d", len(results))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FunnelDelMinSkipQ") || !strings.Contains(out, "SkipQueue") {
+		t.Fatalf("output missing structures:\n%s", out)
+	}
+}
+
+func TestRunLockFreeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := RunLockFree(&buf, Options{Scale: 0.02, MaxProcs: 8})
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Inserts+r.Deletes == 0 {
+			t.Fatalf("%s at %d procs recorded no operations", r.Structure, r.Procs)
+		}
+	}
+	if !strings.Contains(buf.String(), "LockFreeSkipQueue") {
+		t.Fatal("output missing LockFreeSkipQueue rows")
+	}
+}
+
+func TestRunContentionSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	rows := RunContention(&buf, Options{Scale: 0.02, MaxProcs: 16})
+	if len(rows) == 0 {
+		t.Fatal("no contention rows")
+	}
+	var sawHeapWait, sawSkipAcq bool
+	for _, row := range rows {
+		if row.AccessesPerOp <= 0 {
+			t.Fatalf("%s: accesses/op = %v", row.Structure, row.AccessesPerOp)
+		}
+		if row.Structure == Heap && row.LockWaitPerOp > 0 {
+			sawHeapWait = true
+		}
+		if row.Structure == SkipQueue && row.AcquiresPerOp > 1 {
+			sawSkipAcq = true
+		}
+	}
+	if !sawHeapWait {
+		t.Fatal("heap recorded no lock waiting under contention")
+	}
+	if !sawSkipAcq {
+		t.Fatal("skipqueue recorded no lock acquisitions")
+	}
+	// The central claim in numbers: the heap's per-op lock waiting exceeds
+	// the SkipQueue's at the highest measured processor count.
+	var heapWait, skipWait float64
+	maxProcs := 0
+	for _, row := range rows {
+		if row.Procs > maxProcs {
+			maxProcs = row.Procs
+		}
+	}
+	for _, row := range rows {
+		if row.Procs == maxProcs {
+			switch row.Structure {
+			case Heap:
+				heapWait = row.LockWaitPerOp
+			case SkipQueue:
+				skipWait = row.LockWaitPerOp
+			}
+		}
+	}
+	if heapWait <= skipWait {
+		t.Fatalf("heap lock wait %v not above skipqueue %v at %d procs",
+			heapWait, skipWait, maxProcs)
+	}
+}
+
+func TestRunGCSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunGC(&buf, Options{Scale: 0.02, MaxProcs: 16})
+	out := buf.String()
+	if !strings.Contains(out, "dedicated-gc") || !strings.Contains(out, "implicit") {
+		t.Fatalf("gc output malformed:\n%s", out)
+	}
+	// Pending must be zero in every dedicated-gc row: the final sweep runs
+	// after all workers exited.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "dedicated-gc") {
+			fields := strings.Fields(line)
+			if fields[len(fields)-1] != "0" {
+				t.Fatalf("pending garbage nonzero: %q", line)
+			}
+		}
+	}
+}
+
+func TestLockFreeStructureRuns(t *testing.T) {
+	r := Run(Params{Structure: LockFree, Procs: 8, InitialSize: 50, Ops: 400, Work: 100})
+	if r.Deletes == 0 || r.AvgDelete <= 0 {
+		t.Fatalf("lock-free run empty: %+v", r)
+	}
+}
+
+func TestMakeKeyGenDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "skewlow", "skewhigh", "ascending", "descending"} {
+		r := Run(Params{
+			Structure: SkipQueue, Procs: 4, InitialSize: 50,
+			Ops: 400, Work: 100, KeyDist: dist,
+		})
+		if r.Inserts == 0 {
+			t.Fatalf("%s: no inserts", dist)
+		}
+	}
+}
+
+func TestMakeKeyGenUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown distribution did not panic")
+		}
+	}()
+	Run(Params{Structure: SkipQueue, Procs: 1, Ops: 10, KeyDist: "nope"})
+}
+
+func TestRunKeyDistSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := RunKeyDist(&buf, Options{Scale: 0.01, MaxProcs: 8})
+	if len(results) != 10 { // 5 distributions x 2 structures
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestPlotResultsSmoke(t *testing.T) {
+	results := []Result{
+		{Params: Params{Structure: SkipQueue, Procs: 1}, AvgInsert: 100, AvgDelete: 200},
+		{Params: Params{Structure: SkipQueue, Procs: 64}, AvgInsert: 150, AvgDelete: 400},
+		{Params: Params{Structure: Heap, Procs: 1}, AvgInsert: 120, AvgDelete: 250},
+		{Params: Params{Structure: Heap, Procs: 64}, AvgInsert: 9000, AvgDelete: 8000},
+	}
+	var buf bytes.Buffer
+	PlotResults(&buf, "demo", results)
+	out := buf.String()
+	if !strings.Contains(out, "demo — DeleteMin") || !strings.Contains(out, "demo — Insert") {
+		t.Fatalf("plot output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "SkipQueue") || !strings.Contains(out, "Heap") {
+		t.Fatal("legend missing")
+	}
+}

@@ -1,0 +1,167 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h H
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram: %s", h.Summary())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h H
+	h.Observe(100 * time.Nanosecond)
+	if h.Count() != 1 || h.Mean() != 100 {
+		t.Fatalf("count=%d mean=%v", h.Count(), h.Mean())
+	}
+	q := h.Quantile(0.5)
+	if q < 88 || q > 100 {
+		t.Fatalf("p50 = %v, want within one bucket of 100ns", q)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<20; v += 97 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestPropertyBucketBounds(t *testing.T) {
+	f := func(v uint64) bool {
+		v >>= 16 // keep within covered range
+		b := bucketOf(v)
+		lo := bucketLow(b)
+		// The bucket's lower bound must not exceed the value, and the next
+		// bucket's lower bound must exceed it (within range).
+		if lo > v {
+			return false
+		}
+		if b+1 < numBuckets && bucketLow(b+1) <= v && bucketOf(bucketLow(b+1)) == b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h H
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]int64, 100000)
+	for i := range samples {
+		samples[i] = int64(rng.Intn(1_000_000)) // uniform 0..1ms in ns
+		h.Observe(time.Duration(samples[i]))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))]
+		approx := int64(h.Quantile(q))
+		if exact == 0 {
+			continue
+		}
+		rel := float64(approx-exact) / float64(exact)
+		if rel < -0.15 || rel > 0.15 {
+			t.Fatalf("q=%v: approx %d vs exact %d (rel %.3f)", q, approx, exact, rel)
+		}
+	}
+}
+
+func TestMergeEqualsCombined(t *testing.T) {
+	var a, b, all H
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Intn(100000))
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %s vs %s", a.Summary(), all.Summary())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q=%v differs after merge", q)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h H
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Duration(i%1000) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	var h H
+	h.Observe(50)
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) == 0 {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var h H
+	h.Observe(-5 * time.Nanosecond)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample handling: %s", h.Summary())
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var h H
+	h.Observe(time.Microsecond)
+	s := h.Summary()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p99="} {
+		if !contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,94 @@
+package lincheck
+
+import (
+	"testing"
+
+	"skipqueue/internal/sim"
+	"skipqueue/internal/simq"
+)
+
+// TestSimulatedQueueSatisfiesDefinition1 verifies the *simulated* SkipQueue
+// — the implementation that regenerates the paper's figures — against
+// Definition 1. Unlike the native stress tests, these runs are fully
+// deterministic: every seed is a reproducible 64-processor interleaving.
+func TestSimulatedQueueSatisfiesDefinition1(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg := sim.Defaults(64)
+		cfg.Seed = seed
+		m := sim.New(cfg)
+		q := simq.NewSkipQueue(m, 12, false, seed)
+		prefill := make([]int64, 100)
+		var history []Op
+		q.SetTracer(func(ev simq.TraceEvent) {
+			// Token-serialized: only one virtual processor runs at a time.
+			history = append(history, Op{
+				Insert: ev.Insert, Key: ev.Key, OK: ev.OK,
+				Stamp: ev.Stamp, Done: ev.Done, Start: ev.Start,
+			})
+		})
+		for i := range prefill {
+			prefill[i] = int64(i) * 1000
+			// Prefilled elements are inserts that completed "long ago".
+			history = append(history, Op{Insert: true, Key: prefill[i], OK: true, Stamp: -2, Done: -1})
+		}
+		q.Prefill(prefill)
+
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 60; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					// Unique keys spread away from the prefill values.
+					q.Insert(p, int64(1_000_000+p.ID*100_000+i))
+				} else {
+					q.DeleteMin(p)
+				}
+			}
+		})
+
+		if err := Verify(history); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := VerifyConservation(history, q.Keys()); err != nil {
+			t.Fatalf("seed %d: conservation: %v", seed, err)
+		}
+	}
+}
+
+// TestSimulatedQueueDeterministicHistory pins that the recorded history is
+// bit-identical across runs with the same seed — the property that makes
+// simulator-level debugging tractable.
+func TestSimulatedQueueDeterministicHistory(t *testing.T) {
+	run := func() []Op {
+		cfg := sim.Defaults(16)
+		cfg.Seed = 7
+		m := sim.New(cfg)
+		q := simq.NewSkipQueue(m, 10, false, 7)
+		var history []Op
+		q.SetTracer(func(ev simq.TraceEvent) {
+			history = append(history, Op{
+				Insert: ev.Insert, Key: ev.Key, OK: ev.OK,
+				Stamp: ev.Stamp, Done: ev.Done, Start: ev.Start,
+			})
+		})
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 30; i++ {
+				p.Work(50)
+				if p.Rand.Bool(0.5) {
+					q.Insert(p, p.Rand.Int63()%(1<<40))
+				} else {
+					q.DeleteMin(p)
+				}
+			}
+		})
+		return history
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("histories diverge at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package lincheck
+
+import (
+	"testing"
+
+	"skipqueue/internal/sim"
+	"skipqueue/internal/simq"
+)
+
+// TestSimulatedLockFreeSatisfiesDefinition1 verifies the simulated
+// lock-free SkipQueue deterministically across seeded 64-processor
+// interleavings.
+func TestSimulatedLockFreeSatisfiesDefinition1(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg := sim.Defaults(64)
+		cfg.Seed = seed
+		m := sim.New(cfg)
+		q := simq.NewLockFreeSkipQueue(m, 12, false, seed)
+		var history []Op
+		q.SetTracer(func(ev simq.TraceEvent) {
+			history = append(history, Op{
+				Insert: ev.Insert, Key: ev.Key, OK: ev.OK,
+				Stamp: ev.Stamp, Done: ev.Done, Start: ev.Start,
+			})
+		})
+		prefill := make([]int64, 100)
+		for i := range prefill {
+			prefill[i] = int64(i) * 1000
+			history = append(history, Op{Insert: true, Key: prefill[i], OK: true, Stamp: -2, Done: -1})
+		}
+		q.Prefill(prefill)
+
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 60; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					q.Insert(p, int64(1_000_000+p.ID*100_000+i))
+				} else {
+					q.DeleteMin(p)
+				}
+			}
+		})
+
+		if err := Verify(history); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := VerifyConservation(history, q.Keys()); err != nil {
+			t.Fatalf("seed %d: conservation: %v", seed, err)
+		}
+	}
+}

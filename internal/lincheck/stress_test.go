@@ -1,0 +1,57 @@
+package lincheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skipqueue/internal/lockfree"
+)
+
+// TestLockFreeDefinition1Stress hammers the lock-free queue across many
+// seeded rounds and verifies every recorded history exactly. This test (in
+// its 300-round form) caught two genuine issues during development: the scan
+// traversing frozen pointers of marked nodes (fixed in
+// lockfree.Queue.DeleteMin) and the checker over-approximating I from the
+// pre-write timestamp value (fixed by the Done evidence).
+func TestLockFreeDefinition1Stress(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		q := lockfree.New[int64, int64](lockfree.Config{Seed: uint64(round + 1)})
+		var mu sync.Mutex
+		var history []Op
+		q.SetTracer(func(ev lockfree.TraceEvent[int64]) {
+			mu.Lock()
+			history = append(history, Op{
+				Insert: ev.Insert, Key: ev.Key, OK: ev.OK,
+				Stamp: ev.Stamp, Done: ev.Done, Start: ev.Start,
+			})
+			mu.Unlock()
+		})
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*100 + w)))
+				for i := 0; i < 1500; i++ {
+					if rng.Intn(2) == 0 {
+						q.Insert(int64(w)*1_000_000+int64(i), int64(i))
+					} else {
+						q.DeleteMin()
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := Verify(history); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := VerifyConservation(history, q.CollectKeys(nil)); err != nil {
+			t.Fatalf("round %d: conservation: %v", round, err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package retire reproduces the garbage-collection scheme of Section 3 of
+// the Lotan/Shavit paper. Go has a garbage collector, so the native queue
+// does not need this machinery for safety — the package exists because the
+// scheme is part of the system the paper describes, because the simulated
+// queues (internal/simq) use it exactly as the paper's benchmarks did, and
+// because it doubles as a node freelist for allocation-rate ablations.
+//
+// The scheme, following Pugh's suggestion: it is safe to free a node only
+// after every processor that was inside the structure when the node was
+// deleted has exited. Each processor registers its entry time in shared
+// memory; every deleted node is stamped with its deletion time and appended
+// to the deleting processor's garbage list; a dedicated collector repeatedly
+// computes the entry time of the oldest processor still inside and frees,
+// from the front of each garbage list, every node whose deletion time is
+// earlier.
+package retire
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue/internal/vclock"
+)
+
+// Domain coordinates deferred reclamation for one data structure shared by a
+// fixed set of processors. Construct with NewDomain; give each worker its
+// own Handle.
+type Domain[T any] struct {
+	clock   *vclock.Clock
+	free    func(T)
+	handles []*Handle[T]
+	freed   atomic.Uint64
+	retired atomic.Uint64
+}
+
+// Handle is one processor's view of the domain: its entry registration and
+// its private garbage list. A Handle must not be shared between goroutines.
+type Handle[T any] struct {
+	d *Domain[T]
+
+	// entered is the processor's registered entry time, 0 while outside the
+	// structure (the paper's "special place in shared memory").
+	entered atomic.Int64
+
+	mu      sync.Mutex
+	garbage []stamped[T] // FIFO: deletion times are non-decreasing
+}
+
+type stamped[T any] struct {
+	item T
+	at   int64
+}
+
+// NewDomain creates a domain for nprocs processors. free is invoked by the
+// collector for every node whose reclamation has become safe; it must be
+// safe to call from the collector goroutine. clock may be shared with the
+// data structure (the paper uses the one machine clock for both) or nil for
+// a private clock.
+func NewDomain[T any](nprocs int, clock *vclock.Clock, free func(T)) *Domain[T] {
+	if clock == nil {
+		clock = new(vclock.Clock)
+	}
+	if free == nil {
+		free = func(T) {}
+	}
+	d := &Domain[T]{clock: clock, free: free}
+	d.handles = make([]*Handle[T], nprocs)
+	for i := range d.handles {
+		d.handles[i] = &Handle[T]{d: d}
+	}
+	return d
+}
+
+// Handle returns processor i's handle.
+func (d *Domain[T]) Handle(i int) *Handle[T] { return d.handles[i] }
+
+// Clock returns the domain's clock.
+func (d *Domain[T]) Clock() *vclock.Clock { return d.clock }
+
+// Freed returns the number of items handed to free so far.
+func (d *Domain[T]) Freed() uint64 { return d.freed.Load() }
+
+// Retired returns the number of items appended to garbage lists so far.
+func (d *Domain[T]) Retired() uint64 { return d.retired.Load() }
+
+// Pending returns the number of retired-but-not-yet-freed items.
+func (d *Domain[T]) Pending() uint64 { return d.Retired() - d.Freed() }
+
+// Enter registers the processor as inside the structure. Calls must be
+// paired with Exit and must not nest.
+func (h *Handle[T]) Enter() {
+	h.entered.Store(h.d.clock.Now())
+}
+
+// Exit deregisters the processor.
+func (h *Handle[T]) Exit() {
+	h.entered.Store(0)
+}
+
+// Retire stamps item with the current time and appends it to this
+// processor's garbage list. Typically called between Enter and Exit, right
+// after the item was unlinked from the structure.
+func (h *Handle[T]) Retire(item T) {
+	at := h.d.clock.Now()
+	h.mu.Lock()
+	h.garbage = append(h.garbage, stamped[T]{item: item, at: at})
+	h.mu.Unlock()
+	h.d.retired.Add(1)
+}
+
+// RetireAt is Retire with an explicit deletion timestamp, for callers that
+// already read the clock (e.g. the queue's Retire callback).
+func (h *Handle[T]) RetireAt(item T, at int64) {
+	h.mu.Lock()
+	h.garbage = append(h.garbage, stamped[T]{item: item, at: at})
+	h.mu.Unlock()
+	h.d.retired.Add(1)
+}
+
+// oldestEntry returns the smallest registered entry time, or the current
+// clock value when no processor is inside: anything deleted before now is
+// then safe.
+func (d *Domain[T]) oldestEntry() int64 {
+	oldest := d.clock.Now()
+	for _, h := range d.handles {
+		if at := h.entered.Load(); at != 0 && at < oldest {
+			oldest = at
+		}
+	}
+	return oldest
+}
+
+// CollectOnce performs one collector pass: it computes the oldest entry time
+// and frees, from the front of every garbage list, each item deleted before
+// it. It returns the number of items freed. This is the body of the
+// dedicated GC processor's loop in the paper's benchmarks.
+func (d *Domain[T]) CollectOnce() int {
+	oldest := d.oldestEntry()
+	n := 0
+	for _, h := range d.handles {
+		h.mu.Lock()
+		i := 0
+		for i < len(h.garbage) && h.garbage[i].at < oldest {
+			i++
+		}
+		ready := h.garbage[:i]
+		// Free outside any clever tricks but inside the lock is fine: free
+		// is a freelist push or a no-op in practice.
+		for _, s := range ready {
+			d.free(s.item)
+		}
+		h.garbage = append(h.garbage[:0], h.garbage[i:]...)
+		h.mu.Unlock()
+		n += i
+	}
+	d.freed.Add(uint64(n))
+	return n
+}
+
+// Run runs the dedicated collector until stop is closed, pausing interval
+// between passes. The paper assigns this loop to a dedicated processor;
+// callers typically run it on its own goroutine:
+//
+//	stop := make(chan struct{})
+//	go domain.Run(stop, time.Millisecond)
+//	...
+//	close(stop)
+func (d *Domain[T]) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			d.CollectOnce() // final sweep for whatever is already safe
+			return
+		case <-t.C:
+			d.CollectOnce()
+		}
+	}
+}

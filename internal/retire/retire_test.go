@@ -1,0 +1,230 @@
+package retire
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skipqueue/internal/vclock"
+)
+
+func TestNoReadersFreesImmediately(t *testing.T) {
+	var freed []int
+	d := NewDomain[int](2, nil, func(x int) { freed = append(freed, x) })
+	h := d.Handle(0)
+	h.Enter()
+	h.Retire(1)
+	h.Retire(2)
+	h.Exit()
+	if n := d.CollectOnce(); n != 2 {
+		t.Fatalf("CollectOnce freed %d, want 2", n)
+	}
+	if len(freed) != 2 || freed[0] != 1 || freed[1] != 2 {
+		t.Fatalf("freed = %v", freed)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d", d.Pending())
+	}
+}
+
+func TestActiveReaderBlocksReclamation(t *testing.T) {
+	d := NewDomain[int](2, nil, nil)
+	reader := d.Handle(0)
+	deleter := d.Handle(1)
+
+	reader.Enter() // reader is inside before the deletion
+	deleter.Enter()
+	deleter.Retire(42)
+	deleter.Exit()
+
+	if n := d.CollectOnce(); n != 0 {
+		t.Fatalf("collector freed %d items while a pre-deletion reader is inside", n)
+	}
+	reader.Exit()
+	if n := d.CollectOnce(); n != 1 {
+		t.Fatalf("collector freed %d after reader exit, want 1", n)
+	}
+}
+
+func TestLateReaderDoesNotBlock(t *testing.T) {
+	d := NewDomain[int](2, nil, nil)
+	deleter := d.Handle(1)
+	deleter.Enter()
+	deleter.Retire(7)
+	deleter.Exit()
+
+	// A reader that enters *after* the deletion can never hold a reference
+	// to the deleted node, so it must not block reclamation.
+	reader := d.Handle(0)
+	reader.Enter()
+	defer reader.Exit()
+	if n := d.CollectOnce(); n != 1 {
+		t.Fatalf("late reader blocked reclamation (freed %d, want 1)", n)
+	}
+}
+
+func TestSharedClock(t *testing.T) {
+	c := new(vclock.Clock)
+	d := NewDomain[int](1, c, nil)
+	if d.Clock() != c {
+		t.Fatal("domain did not adopt the shared clock")
+	}
+	before := c.Peek()
+	d.Handle(0).Enter()
+	if c.Peek() <= before {
+		t.Fatal("Enter did not advance the shared clock")
+	}
+}
+
+func TestRetireAt(t *testing.T) {
+	d := NewDomain[int](1, nil, nil)
+	h := d.Handle(0)
+	at := d.Clock().Now()
+	h.RetireAt(5, at)
+	if d.Retired() != 1 {
+		t.Fatalf("Retired = %d", d.Retired())
+	}
+	if n := d.CollectOnce(); n != 1 {
+		t.Fatalf("freed %d, want 1", n)
+	}
+}
+
+// TestPropertySafety is the core safety property: an item retired at time t
+// is never freed while some handle that entered before t is still inside.
+func TestPropertySafety(t *testing.T) {
+	f := func(script []uint8) bool {
+		const procs = 4
+		d := NewDomain[int](procs, nil, nil)
+		freedAt := map[int]int64{} // item -> clock value when freed
+		var freeLog []int
+		d.free = func(x int) {
+			freeLog = append(freeLog, x)
+			freedAt[x] = d.clock.Peek()
+		}
+		inside := map[int]int64{} // proc -> entry time
+		retireTime := map[int]int64{}
+		next := 0
+		for _, b := range script {
+			p := int(b) % procs
+			switch (b / 4) % 3 {
+			case 0:
+				if _, in := inside[p]; !in {
+					d.Handle(p).Enter()
+					inside[p] = d.Handle(p).entered.Load()
+				}
+			case 1:
+				if _, in := inside[p]; in {
+					d.Handle(p).Exit()
+					delete(inside, p)
+				}
+			case 2:
+				if _, in := inside[p]; in {
+					item := next
+					next++
+					d.Handle(p).Retire(item)
+					retireTime[item] = d.clock.Peek()
+				}
+			}
+			d.CollectOnce()
+			// Safety check: nothing freed this step may have a retire time
+			// later than a still-inside handle's entry time.
+			for _, item := range freeLog {
+				rt := retireTime[item]
+				for _, entry := range inside {
+					if entry < rt {
+						return false
+					}
+				}
+			}
+			freeLog = freeLog[:0]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentChurnWithCollector(t *testing.T) {
+	const procs = 8
+	var freedCount atomic.Uint64
+	d := NewDomain[int](procs, nil, func(int) { freedCount.Add(1) })
+	stop := make(chan struct{})
+	var collectorDone sync.WaitGroup
+	collectorDone.Add(1)
+	go func() {
+		defer collectorDone.Done()
+		d.Run(stop, 100*time.Microsecond)
+	}()
+
+	var wg sync.WaitGroup
+	const per = 2000
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := d.Handle(p)
+			for i := 0; i < per; i++ {
+				h.Enter()
+				h.Retire(p*per + i)
+				h.Exit()
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Everyone has exited: one more pass must drain everything.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	collectorDone.Wait()
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d after all exits", d.Pending())
+	}
+	if freedCount.Load() != procs*per {
+		t.Fatalf("freed %d, want %d", freedCount.Load(), procs*per)
+	}
+}
+
+// TestFreelistReuse exercises the domain as a node pool, the way an
+// allocation-conscious queue would use it.
+func TestFreelistReuse(t *testing.T) {
+	type bignode struct{ payload [64]byte }
+	pool := make(chan *bignode, 1024)
+	d := NewDomain[*bignode](1, nil, func(n *bignode) {
+		select {
+		case pool <- n:
+		default:
+		}
+	})
+	h := d.Handle(0)
+	alloc := func() *bignode {
+		select {
+		case n := <-pool:
+			return n
+		default:
+			return new(bignode)
+		}
+	}
+	seen := map[*bignode]int{}
+	for i := 0; i < 100; i++ {
+		n := alloc()
+		seen[n]++
+		h.Enter()
+		h.Retire(n)
+		h.Exit()
+		d.CollectOnce()
+	}
+	reused := 0
+	for _, c := range seen {
+		if c > 1 {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("freelist never reused a node")
+	}
+}

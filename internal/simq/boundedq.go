@@ -1,0 +1,114 @@
+package simq
+
+import (
+	"sort"
+
+	"skipqueue/internal/sim"
+)
+
+// BoundedQueue is the simulated bounded-range bin queue (Shavit/Zemach
+// style, reference [39] of the paper): an array of R bins, each a counter
+// plus a LIFO list behind a per-bin lock, with a shared minimum hint. It is
+// only usable when priorities come from the small fixed range [0, R) — the
+// special case the paper's introduction distinguishes from the general
+// queues the SkipQueue targets. The harness's bounded experiment shows both
+// sides: within its range it beats every general structure, outside its
+// range it cannot be used at all.
+type BoundedQueue struct {
+	m       *sim.Machine
+	counts  []*sim.Word // per-bin element count
+	stacks  [][]int64   // per-bin contents (guarded by the bin lock)
+	locks   []*sim.Lock
+	minHint *sim.Word // int: lower bound on the smallest non-empty bin
+}
+
+// NewBoundedQueue builds an empty simulated bin queue over [0, r).
+func NewBoundedQueue(m *sim.Machine, r int) *BoundedQueue {
+	if r <= 0 {
+		panic("simq: invalid bounded range")
+	}
+	q := &BoundedQueue{
+		m:       m,
+		counts:  make([]*sim.Word, r),
+		stacks:  make([][]int64, r),
+		locks:   make([]*sim.Lock, r),
+		minHint: m.NewWord(r),
+	}
+	for i := range q.counts {
+		q.counts[i] = m.NewWord(0)
+		q.locks[i] = m.NewLock()
+	}
+	return q
+}
+
+// Prefill places keys in their bins directly, charging nothing.
+func (q *BoundedQueue) Prefill(keys []int64) {
+	min := len(q.counts)
+	for _, k := range keys {
+		i := int(k)
+		q.stacks[i] = append(q.stacks[i], k)
+		q.counts[i].SetInitial(len(q.stacks[i]))
+		if i < min {
+			min = i
+		}
+	}
+	q.minHint.SetInitial(min)
+}
+
+// Insert pushes key into its bin and lowers the hint.
+func (q *BoundedQueue) Insert(p *sim.Proc, key int64) {
+	i := int(key)
+	p.Lock(q.locks[i])
+	q.stacks[i] = append(q.stacks[i], key)
+	p.Write(q.counts[i], len(q.stacks[i]))
+	p.Unlock(q.locks[i])
+	for {
+		h := p.Read(q.minHint).(int)
+		if i >= h || p.CompareAndSwap(q.minHint, h, i) {
+			return
+		}
+	}
+}
+
+// DeleteMin scans bins upward from the hint.
+func (q *BoundedQueue) DeleteMin(p *sim.Proc) (int64, bool) {
+	for {
+		start := p.Read(q.minHint).(int)
+		i := start
+		if i > len(q.counts) {
+			i = len(q.counts)
+		}
+		for ; i < len(q.counts); i++ {
+			if p.Read(q.counts[i]).(int) == 0 {
+				continue
+			}
+			p.Lock(q.locks[i])
+			if n := len(q.stacks[i]); n > 0 {
+				key := q.stacks[i][n-1]
+				q.stacks[i] = q.stacks[i][:n-1]
+				p.Write(q.counts[i], n-1)
+				p.Unlock(q.locks[i])
+				if i > start {
+					p.CompareAndSwap(q.minHint, start, i)
+				}
+				return key, true
+			}
+			p.Unlock(q.locks[i])
+		}
+		// Verified empty from the hint to the top; if the hint moved down
+		// meanwhile an insert landed below the scan window — retry.
+		if p.Read(q.minHint).(int) >= start {
+			return 0, false
+		}
+	}
+}
+
+// Keys returns the live keys in ascending order (quiescent machines only).
+func (q *BoundedQueue) Keys() []int64 {
+	var out []int64
+	for _, s := range q.stacks {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

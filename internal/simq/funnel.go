@@ -1,0 +1,154 @@
+package simq
+
+import (
+	"skipqueue/internal/sim"
+)
+
+// simFunnel is the combining-funnel mechanism shared by the FunnelList and
+// by the funnel-regulated DeleteMin ablation: randomized collision layers in
+// which same-kind requests combine, with width and wait windows adapting to
+// the observed concurrency.
+type simFunnel struct {
+	m      *sim.Machine
+	layers [][]*sim.Word // slots holding *flEnvelope
+	spins  int
+	conc   int // concurrency estimate; uncharged adaptation metadata
+}
+
+func newSimFunnel(m *sim.Machine, layers, maxWidth, spins int) *simFunnel {
+	if layers <= 0 {
+		layers = 2
+	}
+	if maxWidth <= 0 {
+		maxWidth = 16
+	}
+	if spins <= 0 {
+		spins = 4
+	}
+	f := &simFunnel{m: m, spins: spins}
+	f.layers = make([][]*sim.Word, layers)
+	for i := range f.layers {
+		f.layers[i] = make([]*sim.Word, maxWidth)
+		for j := range f.layers[i] {
+			f.layers[i][j] = m.NewWord((*flEnvelope)(nil))
+		}
+	}
+	return f
+}
+
+// enter pushes r into the funnel. It returns true when r was captured by a
+// combiner (the caller must wait for results via awaitDone) and false when
+// the caller emerged still owning its batch. Callers must pair every enter
+// with exit once the operation completes.
+func (f *simFunnel) enter(p *sim.Proc, r *flRequest) bool {
+	conc := f.conc
+	f.conc++
+	if conc <= 1 {
+		return false // alone (or nearly): skip the funnel
+	}
+	return f.descend(p, r, conc)
+}
+
+// exit records the operation's completion for the concurrency estimate.
+func (f *simFunnel) exit() { f.conc-- }
+
+// descend walks the collision layers; true means r was captured.
+//
+// Protocol invariant: a processor only appends to r.children while it is
+// parked in no slot, so a capturer always reads a stable batch. Every
+// parking is resolved — capture or withdrawal — before the processor
+// captures anyone itself.
+func (f *simFunnel) descend(p *sim.Proc, r *flRequest, conc int) bool {
+	for layer := 0; layer < len(f.layers); layer++ {
+		width := conc >> (layer + 1)
+		if width > len(f.layers[layer]) {
+			width = len(f.layers[layer])
+		}
+		if width < 1 {
+			width = 1
+		}
+		slot := f.layers[layer][p.Rand.Intn(width)]
+
+		// Phase 1: try to capture an occupant while parked nowhere.
+		if prev, _ := p.Swap(slot, (*flEnvelope)(nil)).(*flEnvelope); prev != nil {
+			if prev.req.kind == r.kind &&
+				p.Swap(prev.state, fsCaptured).(int64) == fsPending {
+				r.children = append(r.children, prev.req)
+			}
+			// An incompatible or already-settled occupant is simply left
+			// out of the slot; its owner's spin window will expire.
+			continue
+		}
+
+		// Phase 2: park in the (just observed empty) slot.
+		env := &flEnvelope{req: r, state: f.m.NewWord(fsPending)}
+		p.Work(10) // envelope allocation
+		if old, _ := p.Swap(slot, env).(*flEnvelope); old != nil {
+			// A bystander parked between our two swaps. Resolve our own
+			// parking before touching anyone else.
+			if f.withdraw(p, env) {
+				p.Swap(slot, old) // hand the slot back to the bystander
+				return true
+			}
+			if old.req.kind == r.kind &&
+				p.Swap(old.state, fsCaptured).(int64) == fsPending {
+				r.children = append(r.children, old.req)
+			}
+			continue
+		}
+
+		// Parked cleanly: wait for a combiner. The window adapts to the
+		// load: at high concurrency a partner arrives quickly and a longer
+		// wait pays for itself in saved lock acquisitions, while at low
+		// concurrency waiting is wasted latency.
+		spins := conc / 2
+		if spins < 1 {
+			spins = 1
+		}
+		if spins > f.spins {
+			spins = f.spins
+		}
+		captured, decided := f.waitInSlot(p, env, spins)
+		if decided {
+			if captured {
+				return true
+			}
+			continue
+		}
+		if f.withdraw(p, env) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitInSlot polls the envelope state for the spin window. decided=false
+// means the window expired with the envelope still pending.
+func (f *simFunnel) waitInSlot(p *sim.Proc, env *flEnvelope, spins int) (captured, decided bool) {
+	for i := 0; i < spins; i++ {
+		p.Work(60) // pause between funnel polls
+		switch p.Read(env.state).(int64) {
+		case fsCaptured:
+			return true, true
+		case fsGone:
+			return false, true // cannot happen for own envelope; defensive
+		}
+	}
+	return false, false
+}
+
+// withdraw attempts to retire env; true means the envelope was captured
+// before the withdrawal won.
+func (f *simFunnel) withdraw(p *sim.Proc, env *flEnvelope) bool {
+	return p.Swap(env.state, fsGone).(int64) == fsCaptured
+}
+
+// awaitDone polls r.done until the combiner posts results.
+func awaitDone(p *sim.Proc, r *flRequest) {
+	for {
+		if p.Read(r.done).(int64) != 0 {
+			return
+		}
+		p.Work(120)
+	}
+}

@@ -1,0 +1,183 @@
+package simq
+
+import (
+	"sort"
+
+	"skipqueue/internal/sim"
+)
+
+// Simulated combining-funnel FunnelList: a sorted linked list behind one
+// lock, with randomized collision layers in front of the lock in which
+// same-kind operations combine. One emerging representative executes the
+// whole batch under the lock — cutting k items off the head for k combined
+// DeleteMins, or merging a sorted batch in one walk for combined Inserts —
+// then posts results to the captured requests' done words.
+
+type flKind int8
+
+const (
+	flInsert flKind = iota
+	flDeleteMin
+)
+
+// Envelope states. Envelopes are one-shot, so state transitions need only a
+// SWAP: whoever swaps first (capturer writing CAPTURED, owner writing GONE)
+// wins, and the loser sees the winner's value.
+const (
+	fsPending  int64 = 0
+	fsCaptured int64 = 1
+	fsGone     int64 = 2
+)
+
+// flRequest is one processor's operation, possibly carrying a batch of
+// captured same-kind requests.
+type flRequest struct {
+	kind     flKind
+	key      int64
+	children []*flRequest
+
+	done    *sim.Word // 0 until the combiner posts results
+	resKey  int64
+	resOK   bool
+	resNode any // claimed node handle (funnel-regulated DeleteMin ablation)
+}
+
+// flEnvelope wraps a request for one collision-layer stay. Envelopes are
+// never reused, which removes ABA concerns from stale slot contents.
+type flEnvelope struct {
+	req   *flRequest
+	state *sim.Word // fsPending / fsCaptured / fsGone
+}
+
+type flNode struct {
+	key  int64
+	next *sim.Word // *flNode; nil sentinel = end of list
+}
+
+// FunnelList is the simulated baseline of Section 5's "FunnelList".
+type FunnelList struct {
+	m    *sim.Machine
+	fun  *simFunnel
+	lock *sim.Lock
+	head *sim.Word // *flNode
+}
+
+// NewFunnelList builds an empty simulated FunnelList. layers and maxWidth
+// shape the funnel; spins is the in-slot wait window in polls.
+func NewFunnelList(m *sim.Machine, layers, maxWidth, spins int) *FunnelList {
+	return &FunnelList{
+		m:    m,
+		fun:  newSimFunnel(m, layers, maxWidth, spins),
+		lock: m.NewLock(),
+		head: m.NewWord((*flNode)(nil)),
+	}
+}
+
+// Prefill builds the sorted list directly, charging nothing.
+func (f *FunnelList) Prefill(keys []int64) {
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var head *flNode
+	for i := len(sorted) - 1; i >= 0; i-- {
+		n := &flNode{key: sorted[i], next: f.m.NewWord(head)}
+		head = n
+	}
+	f.head.SetInitial(head)
+}
+
+// Insert adds key to the list (possibly batched through a combiner).
+func (f *FunnelList) Insert(p *sim.Proc, key int64) {
+	r := &flRequest{kind: flInsert, key: key, done: f.m.NewWord(int64(0))}
+	f.run(p, r)
+}
+
+// DeleteMin removes and returns the minimum element.
+func (f *FunnelList) DeleteMin(p *sim.Proc) (int64, bool) {
+	r := &flRequest{kind: flDeleteMin, done: f.m.NewWord(int64(0))}
+	f.run(p, r)
+	return r.resKey, r.resOK
+}
+
+func (f *FunnelList) run(p *sim.Proc, r *flRequest) {
+	defer f.fun.exit()
+	if f.fun.enter(p, r) {
+		awaitDone(p, r)
+		return
+	}
+	p.Lock(f.lock)
+	f.apply(p, r)
+	p.Unlock(f.lock)
+}
+
+// apply executes the batch rooted at r under the list lock.
+func (f *FunnelList) apply(p *sim.Proc, r *flRequest) {
+	switch r.kind {
+	case flInsert:
+		var keys []int64
+		reqs := flatten(r, nil)
+		for _, q := range reqs {
+			keys = append(keys, q.key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		p.Work(int64(10 * len(keys))) // local sort of the batch
+		f.mergeSorted(p, keys)
+		for _, q := range reqs[1:] {
+			p.Write(q.done, int64(1))
+		}
+	case flDeleteMin:
+		reqs := flatten(r, nil)
+		for _, q := range reqs {
+			head, _ := p.Read(f.head).(*flNode)
+			if head != nil {
+				q.resKey, q.resOK = head.key, true
+				next, _ := p.Read(head.next).(*flNode)
+				p.Write(f.head, next)
+			} else {
+				q.resOK = false
+			}
+		}
+		for _, q := range reqs[1:] {
+			p.Write(q.done, int64(1))
+		}
+	}
+}
+
+// mergeSorted splices an ascending batch into the sorted list in one walk.
+func (f *FunnelList) mergeSorted(p *sim.Proc, keys []int64) {
+	// cur is the word whose pointee we are considering.
+	cur := f.head
+	node, _ := p.Read(cur).(*flNode)
+	for _, k := range keys {
+		for node != nil && node.key < k {
+			cur = node.next
+			node, _ = p.Read(cur).(*flNode)
+		}
+		nn := &flNode{key: k, next: f.m.NewWord(node)}
+		p.Work(10) // node allocation
+		p.Write(cur, nn)
+		cur = nn.next
+	}
+}
+
+func flatten(r *flRequest, dst []*flRequest) []*flRequest {
+	dst = append(dst, r)
+	for _, c := range r.children {
+		dst = flatten(c, dst)
+	}
+	return dst
+}
+
+// Lock exposes the list lock for contention reporting.
+func (f *FunnelList) Lock() *sim.Lock { return f.lock }
+
+// Keys returns the list contents in order (quiescent machines only).
+func (f *FunnelList) Keys() []int64 {
+	var out []int64
+	n, _ := f.head.Peek().(*flNode)
+	for n != nil {
+		out = append(out, n.key)
+		next, _ := n.next.Peek().(*flNode)
+		n = next
+	}
+	return out
+}

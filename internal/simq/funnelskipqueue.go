@@ -1,0 +1,61 @@
+package simq
+
+import (
+	"skipqueue/internal/sim"
+)
+
+// FunnelSkipQueue is the design the paper's authors tried first and
+// rejected (Section 5, "SkipQueue"): a SkipQueue whose DeleteMin operations
+// are regulated by a combining funnel instead of racing freely for the first
+// unmarked bottom-level node. A representative emerging from the funnel
+// claims one node per combined request, hands each claimed node to its
+// requester, and every requester performs its own physical removal in
+// parallel.
+//
+// The paper reports the funnel performed well at low contention but "caused
+// too much overhead when the concurrency level increased to 64 processors
+// and more"; the funnel-delmin ablation in cmd/skipbench reproduces that
+// comparison.
+type FunnelSkipQueue struct {
+	*SkipQueue
+	fun *simFunnel
+}
+
+// NewFunnelSkipQueue builds the funnel-regulated variant.
+func NewFunnelSkipQueue(m *sim.Machine, maxLevel int, relaxed bool, seed uint64, layers, maxWidth, spins int) *FunnelSkipQueue {
+	return &FunnelSkipQueue{
+		SkipQueue: NewSkipQueue(m, maxLevel, relaxed, seed),
+		fun:       newSimFunnel(m, layers, maxWidth, spins),
+	}
+}
+
+// DeleteMin routes the logical deletion through the combining funnel; the
+// physical removal stays with the requesting processor.
+func (q *FunnelSkipQueue) DeleteMin(p *sim.Proc) (int64, bool) {
+	r := &flRequest{kind: flDeleteMin, done: q.m.NewWord(int64(0))}
+	defer q.fun.exit()
+	if q.fun.enter(p, r) {
+		awaitDone(p, r)
+		if r.resOK {
+			q.removeNode(p, r.resNode.(*sqnode))
+		}
+		return r.resKey, r.resOK
+	}
+
+	// Combiner: claim one node per combined request.
+	reqs := flatten(r, nil)
+	for _, dr := range reqs {
+		if victim, _, _, ok := q.claimMin(p); ok {
+			dr.resKey, dr.resOK, dr.resNode = victim.key, true, victim
+		} else {
+			dr.resOK = false
+		}
+	}
+	for _, dr := range reqs[1:] {
+		p.Write(dr.done, int64(1))
+	}
+	if r.resOK {
+		q.removeNode(p, r.resNode.(*sqnode))
+	}
+	return r.resKey, r.resOK
+}

@@ -1,0 +1,117 @@
+package simq
+
+import (
+	"testing"
+
+	"skipqueue/internal/sim"
+)
+
+func TestFunnelSkipQueueSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	q := NewFunnelSkipQueue(m, 10, false, 1, 2, 8, 4)
+	q.Prefill(seqKeys(100))
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := q.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	if len(got) != 100 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i)*10 {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestFunnelSkipQueueConcurrentDrainNoLossNoDup(t *testing.T) {
+	keys := seqKeys(400)
+	results := drainAll(t, 16, func(m *sim.Machine) PQ {
+		q := NewFunnelSkipQueue(m, 10, false, 3, 2, 16, 8)
+		q.Prefill(keys)
+		return q
+	})
+	checkNoLossNoDup(t, results, keys)
+}
+
+func TestFunnelSkipQueueMixedConservation(t *testing.T) {
+	m := sim.New(sim.Defaults(16))
+	q := NewFunnelSkipQueue(m, 12, false, 3, 2, 16, 8)
+	init := seqKeys(100)
+	q.Prefill(init)
+	mineInserted := make([][]int64, 16)
+	mineDeleted := make([][]int64, 16)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			p.Work(100)
+			if p.Rand.Bool(0.5) {
+				k := int64(1_000_000 + p.ID*10_000 + i)
+				q.Insert(p, k)
+				mineInserted[p.ID] = append(mineInserted[p.ID], k)
+			} else if k, ok := q.DeleteMin(p); ok {
+				mineDeleted[p.ID] = append(mineDeleted[p.ID], k)
+			}
+		}
+	})
+	expect := map[int64]bool{}
+	for _, k := range init {
+		expect[k] = true
+	}
+	for _, ins := range mineInserted {
+		for _, k := range ins {
+			expect[k] = true
+		}
+	}
+	for _, del := range mineDeleted {
+		for _, k := range del {
+			if !expect[k] {
+				t.Fatalf("deleted unknown key %d", k)
+			}
+			delete(expect, k)
+		}
+	}
+	for _, k := range q.Keys() {
+		if !expect[k] {
+			t.Fatalf("remaining key %d unexpected", k)
+		}
+		delete(expect, k)
+	}
+	if len(expect) != 0 {
+		t.Fatalf("%d keys lost", len(expect))
+	}
+}
+
+func TestFunnelSkipQueueDeterministic(t *testing.T) {
+	run := func() []int64 {
+		m := sim.New(sim.Defaults(8))
+		q := NewFunnelSkipQueue(m, 10, false, 7, 2, 8, 4)
+		q.Prefill(seqKeys(50))
+		finish := make([]int64, 8)
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					q.Insert(p, p.Rand.Int63())
+				} else {
+					q.DeleteMin(p)
+				}
+			}
+			finish[p.ID] = p.Now()
+		})
+		return finish
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at proc %d", i)
+		}
+	}
+}
+
+var _ PQ = (*FunnelSkipQueue)(nil)

@@ -1,0 +1,119 @@
+package simq
+
+import (
+	"skipqueue/internal/sim"
+)
+
+// Simulated reproduction of the paper's garbage-collection scheme
+// (Section 3): every processor registers its entry time in shared memory,
+// deleted nodes are stamped and appended to the deleting processor's garbage
+// list, and a dedicated processor repeatedly frees, from the front of each
+// list, every node deleted before the oldest registered entry. The paper's
+// own benchmarks "assigned a dedicated processor to do all the garbage
+// collection"; harness.RunGC measures what that costs.
+
+type gcItem struct {
+	node *sqnode
+	at   int64
+}
+
+// gcState is attached to a SkipQueue by EnableReclamation.
+type gcState struct {
+	entered []*sim.Word // per-processor entry time (0 = outside)
+	lists   [][]gcItem  // per-processor garbage lists (token-serialized)
+	freed   int
+}
+
+// EnableReclamation switches the queue to the paper's explicit reclamation
+// protocol. Processors must bracket every operation with Enter/Exit, and
+// some processor should run Collect passes (the paper dedicates one).
+func (q *SkipQueue) EnableReclamation() {
+	st := &gcState{
+		entered: make([]*sim.Word, q.m.Procs()),
+		lists:   make([][]gcItem, q.m.Procs()),
+	}
+	for i := range st.entered {
+		st.entered[i] = q.m.NewWord(int64(0))
+	}
+	q.gc = st
+}
+
+// Enter registers the processor as inside the structure (one shared write).
+func (q *SkipQueue) Enter(p *sim.Proc) {
+	if q.gc != nil {
+		p.Write(q.gc.entered[p.ID], p.ReadClock())
+	}
+}
+
+// Exit deregisters the processor (one shared write).
+func (q *SkipQueue) Exit(p *sim.Proc) {
+	if q.gc != nil {
+		p.Write(q.gc.entered[p.ID], int64(0))
+	}
+}
+
+// putGarbage implements PutOnGarbageList (Figure 11 line 37): stamp the node
+// with its deletion time and append it to the deleting processor's list.
+func (q *SkipQueue) putGarbage(p *sim.Proc, victim *sqnode) {
+	p.Write(q.garbage[p.ID], victim) // the list-tail write, as before
+	if q.gc != nil {
+		q.gc.lists[p.ID] = append(q.gc.lists[p.ID], gcItem{node: victim, at: p.Now()})
+	}
+}
+
+// CollectOnce is one pass of the dedicated GC processor: read every entry
+// registration to find the oldest processor inside, then free the front of
+// every garbage list up to that time. Every inspection is a charged shared
+// read. It returns the number of nodes freed this pass.
+func (q *SkipQueue) CollectOnce(p *sim.Proc) int {
+	if q.gc == nil {
+		return 0
+	}
+	// With no processor registered, every retired node is safe: any future
+	// reader enters after the node was already unlinked and cannot reach it.
+	oldest := int64(1<<63 - 1)
+	for _, w := range q.gc.entered {
+		if at := p.Read(w).(int64); at != 0 && at < oldest {
+			oldest = at
+		}
+	}
+	n := 0
+	for pid := range q.gc.lists {
+		// Trim the list before any charged access: a charged write yields
+		// the execution token, and a deleter could append to this list
+		// during the yield, which a later trim would silently discard.
+		list := q.gc.lists[pid]
+		i := 0
+		for i < len(list) && list[i].at < oldest {
+			i++
+		}
+		q.gc.lists[pid] = list[i:]
+		for j := 0; j < i; j++ {
+			// Freeing: one shared write per node returned to the allocator.
+			p.Write(q.garbage[pid], nil)
+		}
+		n += i
+	}
+	q.gc.freed += n
+	return n
+}
+
+// FreedCount returns the total nodes reclaimed so far.
+func (q *SkipQueue) FreedCount() int {
+	if q.gc == nil {
+		return 0
+	}
+	return q.gc.freed
+}
+
+// PendingGarbage returns the number of retired-but-unreclaimed nodes.
+func (q *SkipQueue) PendingGarbage() int {
+	if q.gc == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range q.gc.lists {
+		n += len(l)
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package simq
+
+import (
+	"testing"
+
+	"skipqueue/internal/sim"
+)
+
+func TestReclamationFreesEverythingAfterExit(t *testing.T) {
+	m := sim.New(sim.Defaults(4))
+	q := NewSkipQueue(m, 10, false, 1)
+	q.EnableReclamation()
+	q.Prefill(seqKeys(120))
+
+	remaining := 3
+	m.Run(func(p *sim.Proc) {
+		if p.ID == 0 {
+			for remaining > 0 {
+				if q.CollectOnce(p) == 0 {
+					p.Work(300)
+				}
+			}
+			q.CollectOnce(p)
+			return
+		}
+		for i := 0; i < 40; i++ {
+			q.Enter(p)
+			q.DeleteMin(p)
+			q.Exit(p)
+		}
+		remaining--
+	})
+	if q.FreedCount() != 120 {
+		t.Fatalf("freed %d, want 120", q.FreedCount())
+	}
+	if q.PendingGarbage() != 0 {
+		t.Fatalf("pending %d after all exits", q.PendingGarbage())
+	}
+}
+
+func TestReclamationNeverFreesUnderActiveReader(t *testing.T) {
+	// A processor that registered before a deletion blocks reclamation of
+	// that deletion until it exits.
+	m := sim.New(sim.Defaults(3))
+	q := NewSkipQueue(m, 8, false, 1)
+	q.EnableReclamation()
+	q.Prefill([]int64{10, 20})
+
+	m.Run(func(p *sim.Proc) {
+		switch p.ID {
+		case 0:
+			// Reader: enter early, linger, exit late.
+			q.Enter(p)
+			p.Work(20000)
+			q.Exit(p)
+		case 1:
+			// Deleter: wait for the reader to be inside, then delete.
+			p.Work(2000)
+			q.Enter(p)
+			q.DeleteMin(p)
+			q.Exit(p)
+		case 2:
+			// Collector: a pass while the reader is still inside must free
+			// nothing from the deletion that happened after its entry.
+			p.Work(5000)
+			if n := q.CollectOnce(p); n != 0 {
+				t.Errorf("collector freed %d while pre-deletion reader inside", n)
+			}
+			p.Work(30000) // after the reader exits
+			if n := q.CollectOnce(p); n != 1 {
+				t.Errorf("collector freed %d after reader exit, want 1", n)
+			}
+		}
+	})
+}
+
+func TestReclamationDisabledIsNoop(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	q := NewSkipQueue(m, 8, false, 1)
+	q.Prefill([]int64{1})
+	m.Run(func(p *sim.Proc) {
+		q.Enter(p) // no-ops without EnableReclamation
+		q.DeleteMin(p)
+		q.Exit(p)
+		if q.CollectOnce(p) != 0 {
+			t.Error("CollectOnce freed something without reclamation enabled")
+		}
+	})
+	if q.FreedCount() != 0 || q.PendingGarbage() != 0 {
+		t.Fatal("counters nonzero without reclamation")
+	}
+}

@@ -1,0 +1,117 @@
+package simq
+
+import (
+	"sort"
+
+	"skipqueue/internal/sim"
+)
+
+// GlobalHeap is the simulated single-global-lock binary heap: the naive
+// baseline whose total serialization motivates both Hunt's fine-grained heap
+// and the SkipQueue. Every operation takes the one lock and performs its
+// whole sift while holding it.
+//
+// The heap's array contents live in plain Go state (the lock already
+// serializes them); each array slot also has a charging word so sift steps
+// cost the same shared-memory latency as every other structure's accesses.
+type GlobalHeap struct {
+	m     *sim.Machine
+	lock  *sim.Lock
+	keys  []int64
+	words []*sim.Word
+}
+
+// NewGlobalHeap builds an empty simulated global-lock heap.
+func NewGlobalHeap(m *sim.Machine) *GlobalHeap {
+	return &GlobalHeap{m: m, lock: m.NewLock()}
+}
+
+// Prefill heap-orders keys directly, charging nothing.
+func (h *GlobalHeap) Prefill(keys []int64) {
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h.keys = sorted // a sorted array in level order is a valid min-heap
+	h.ensure(len(sorted))
+}
+
+func (h *GlobalHeap) ensure(n int) {
+	for len(h.words) < n {
+		h.words = append(h.words, h.m.NewWord(nil))
+	}
+}
+
+// touch charges one shared access to slot i.
+func (h *GlobalHeap) touch(p *sim.Proc, i int) {
+	h.ensure(i + 1)
+	p.Read(h.words[i])
+}
+
+// Insert adds key under the global lock.
+func (h *GlobalHeap) Insert(p *sim.Proc, key int64) {
+	p.Lock(h.lock)
+	h.keys = append(h.keys, key)
+	i := len(h.keys) - 1
+	h.touch(p, i) // write the new slot
+	for i > 0 {
+		parent := (i - 1) / 2
+		h.touch(p, parent) // read parent for the comparison
+		if !(h.keys[i] < h.keys[parent]) {
+			break
+		}
+		h.keys[i], h.keys[parent] = h.keys[parent], h.keys[i]
+		h.touch(p, i) // write back the swap
+		i = parent
+	}
+	p.Unlock(h.lock)
+}
+
+// DeleteMin removes the root under the global lock.
+func (h *GlobalHeap) DeleteMin(p *sim.Proc) (int64, bool) {
+	p.Lock(h.lock)
+	if len(h.keys) == 0 {
+		p.Unlock(h.lock)
+		return 0, false
+	}
+	h.touch(p, 0)
+	top := h.keys[0]
+	last := len(h.keys) - 1
+	h.keys[0] = h.keys[last]
+	h.keys = h.keys[:last]
+	h.touch(p, last) // read the last slot moved to the root
+	i := 0
+	n := len(h.keys)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n {
+			h.touch(p, left)
+			if h.keys[left] < h.keys[smallest] {
+				smallest = left
+			}
+		}
+		if right < n {
+			h.touch(p, right)
+			if h.keys[right] < h.keys[smallest] {
+				smallest = right
+			}
+		}
+		if smallest == i {
+			break
+		}
+		h.keys[i], h.keys[smallest] = h.keys[smallest], h.keys[i]
+		h.touch(p, smallest) // write back the swap
+		i = smallest
+	}
+	p.Unlock(h.lock)
+	return top, true
+}
+
+// Lock exposes the global lock for contention reporting.
+func (h *GlobalHeap) Lock() *sim.Lock { return h.lock }
+
+// Keys returns the live keys in ascending order (quiescent machines only).
+func (h *GlobalHeap) Keys() []int64 {
+	out := append([]int64(nil), h.keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,242 @@
+package simq
+
+import (
+	"sort"
+
+	"skipqueue/internal/cheap"
+	"skipqueue/internal/sim"
+)
+
+// heapItem is one slot's contents: tag plus priority travel together (one
+// cache line on the modeled machine, one Word here).
+type heapItem struct {
+	tag int64 // 0 empty, -1 available, >0 operation id
+	pri int64
+}
+
+const (
+	hTagEmpty     int64 = 0
+	hTagAvailable int64 = -1
+)
+
+// Heap is the simulated Hunt et al. heap: a single short-duration size lock,
+// per-slot locks, pid tags and bit-reversed insertion positions — the
+// baseline whose size-lock serialization and root hot spot the paper's
+// Figures 3–5 expose.
+type Heap struct {
+	m      *sim.Machine
+	sizeLk *sim.Lock
+	size   *sim.Word   // int
+	locks  []*sim.Lock // 1-based slot locks
+	items  []*sim.Word // 1-based slot contents (heapItem)
+	nextOp int64       // operation-id source (token-serialized)
+	fulls  int         // inserts dropped because the heap was full
+}
+
+// Fulls returns the number of inserts dropped because the heap was full.
+func (h *Heap) Fulls() int { return h.fulls }
+
+// NewHeap builds an empty simulated heap with the given capacity (rounded up
+// to a full tree, as required by bit-reversal).
+func NewHeap(m *sim.Machine, capacity int) *Heap {
+	full := 1
+	for full-1 < capacity {
+		full <<= 1
+	}
+	h := &Heap{m: m, sizeLk: m.NewLock(), size: m.NewWord(0)}
+	h.locks = make([]*sim.Lock, full)
+	h.items = make([]*sim.Word, full)
+	for i := 1; i < full; i++ {
+		h.locks[i] = m.NewLock()
+		h.items[i] = m.NewWord(heapItem{tag: hTagEmpty})
+	}
+	return h
+}
+
+// Prefill heap-orders keys into the array directly, charging nothing. The
+// occupied slots must be exactly the bit-reversed image of 1..n — DeleteMin
+// claims slot BitReversed(size) — so the keys are distributed level by
+// level: every key on a level is no larger than any key on the next, which
+// satisfies the heap order for any placement within a level.
+func (h *Heap) Prefill(keys []int64) {
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	occupied := make([]bool, len(h.items))
+	for j := 1; j <= len(sorted); j++ {
+		occupied[cheap.BitReversed(j)] = true
+	}
+	idx := 0
+	for s := 1; s < len(h.items); s++ { // increasing slot order = level order
+		if occupied[s] {
+			h.items[s].SetInitial(heapItem{tag: hTagAvailable, pri: sorted[idx]})
+			idx++
+		}
+	}
+	h.size.SetInitial(len(sorted))
+}
+
+func (h *Heap) readItem(p *sim.Proc, i int) heapItem {
+	return p.Read(h.items[i]).(heapItem)
+}
+
+func (h *Heap) writeItem(p *sim.Proc, i int, it heapItem) {
+	p.Write(h.items[i], it)
+}
+
+// Insert follows Hunt et al.: reserve a bit-reversed slot under the size
+// lock, tag the item with the operation id, then percolate bottom-up one
+// locked parent/child pair at a time, chasing the item if it moved.
+// An insert on a full heap is dropped and counted in Fulls (the harness
+// sizes the array so this never happens in an experiment).
+func (h *Heap) Insert(p *sim.Proc, key int64) {
+	h.nextOp++ // token-serialized: only one processor executes at a time
+	pid := h.nextOp
+
+	p.Lock(h.sizeLk)
+	size := p.Read(h.size).(int)
+	if size >= len(h.items)-1 {
+		p.Unlock(h.sizeLk)
+		h.fulls++
+		return
+	}
+	size++
+	p.Write(h.size, size)
+	i := cheap.BitReversed(size)
+	p.Lock(h.locks[i])
+	p.Unlock(h.sizeLk)
+
+	h.writeItem(p, i, heapItem{tag: pid, pri: key})
+	p.Unlock(h.locks[i])
+
+	for i > 1 {
+		parent := i / 2
+		p.Lock(h.locks[parent])
+		p.Lock(h.locks[i])
+		oldI := i
+		pit := h.readItem(p, parent)
+		iit := h.readItem(p, i)
+		switch {
+		case pit.tag == hTagAvailable && iit.tag == pid:
+			if iit.pri < pit.pri {
+				h.writeItem(p, parent, iit)
+				h.writeItem(p, i, pit)
+				i = parent
+			} else {
+				iit.tag = hTagAvailable
+				h.writeItem(p, i, iit)
+				i = 0
+			}
+		case pit.tag == hTagEmpty:
+			i = 0
+		case iit.tag != pid:
+			i = parent
+		}
+		p.Unlock(h.locks[oldI])
+		p.Unlock(h.locks[parent])
+	}
+	if i == 1 {
+		p.Lock(h.locks[1])
+		it := h.readItem(p, 1)
+		if it.tag == pid {
+			it.tag = hTagAvailable
+			h.writeItem(p, 1, it)
+		}
+		p.Unlock(h.locks[1])
+	}
+}
+
+// DeleteMin follows Hunt et al.: claim the bit-reversed last slot under the
+// size lock, then exchange its item with the root's and reheapify top-down.
+func (h *Heap) DeleteMin(p *sim.Proc) (int64, bool) {
+	p.Lock(h.sizeLk)
+	size := p.Read(h.size).(int)
+	if size == 0 {
+		p.Unlock(h.sizeLk)
+		return 0, false
+	}
+	bound := size
+	p.Write(h.size, size-1)
+	i := cheap.BitReversed(bound)
+	p.Lock(h.locks[i])
+	p.Unlock(h.sizeLk)
+
+	last := h.readItem(p, i)
+	h.writeItem(p, i, heapItem{tag: hTagEmpty})
+	p.Unlock(h.locks[i])
+	if i == 1 {
+		return last.pri, true
+	}
+
+	p.Lock(h.locks[1])
+	root := h.readItem(p, 1)
+	if root.tag == hTagEmpty {
+		p.Unlock(h.locks[1])
+		return last.pri, true
+	}
+	h.writeItem(p, 1, heapItem{tag: hTagAvailable, pri: last.pri})
+	result := root.pri
+
+	i = 1
+	cur := heapItem{tag: hTagAvailable, pri: last.pri}
+	for {
+		left, right := 2*i, 2*i+1
+		if left >= len(h.items) {
+			break
+		}
+		p.Lock(h.locks[left])
+		lit := h.readItem(p, left)
+		var rit heapItem
+		rightLocked := false
+		if right < len(h.items) {
+			p.Lock(h.locks[right])
+			rit = h.readItem(p, right)
+			rightLocked = true
+		}
+		var child int
+		var cit heapItem
+		if lit.tag == hTagEmpty {
+			p.Unlock(h.locks[left])
+			if rightLocked {
+				p.Unlock(h.locks[right])
+			}
+			break
+		} else if !rightLocked || rit.tag == hTagEmpty || lit.pri < rit.pri {
+			if rightLocked {
+				p.Unlock(h.locks[right])
+			}
+			child, cit = left, lit
+		} else {
+			p.Unlock(h.locks[left])
+			child, cit = right, rit
+		}
+		if cit.pri < cur.pri {
+			// Swap items between i and child.
+			h.writeItem(p, child, cur)
+			h.writeItem(p, i, cit)
+			p.Unlock(h.locks[i])
+			i = child
+			// cur stays: our item now lives at child.
+		} else {
+			p.Unlock(h.locks[child])
+			break
+		}
+	}
+	p.Unlock(h.locks[i])
+	return result, true
+}
+
+// SizeLock exposes the global size lock for contention reporting.
+func (h *Heap) SizeLock() *sim.Lock { return h.sizeLk }
+
+// Keys returns the live keys in ascending order (quiescent machines only).
+func (h *Heap) Keys() []int64 {
+	var out []int64
+	for i := 1; i < len(h.items); i++ {
+		it := h.items[i].Peek().(heapItem)
+		if it.tag != hTagEmpty {
+			out = append(out, it.pri)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,316 @@
+package simq
+
+import (
+	"sort"
+
+	"skipqueue/internal/sim"
+	"skipqueue/internal/xrand"
+)
+
+// LockFreeSkipQueue is the simulated counterpart of internal/lockfree: the
+// Lotan/Shavit claim-then-unlink algorithm on a CAS-based lock-free skiplist
+// (markable references, helping unlinks). It lets the harness extend the
+// paper's evaluation with the design its line of work later produced —
+// comparing a preemption-immune CAS protocol against Pugh-style locking on
+// the same simulated 256-processor machine.
+type LockFreeSkipQueue struct {
+	m        *sim.Machine
+	maxLevel int
+	relaxed  bool
+	levels   *xrand.Rand
+	head     *lfnode
+	tail     *lfnode
+
+	// gseq/tracer: logical clock values and history observation, as in
+	// SkipQueue (see skipqueue.go).
+	gseq   int64
+	tracer func(ev TraceEvent)
+}
+
+// SetTracer installs fn to observe operations (strict mode only).
+func (q *LockFreeSkipQueue) SetTracer(fn func(TraceEvent)) {
+	if q.relaxed {
+		panic("simq: SetTracer requires the strict ordering mode")
+	}
+	q.tracer = fn
+}
+
+func (q *LockFreeSkipQueue) readClock(p *sim.Proc) int64 {
+	p.ReadClock()
+	q.gseq++
+	return q.gseq
+}
+
+func (q *LockFreeSkipQueue) seq() int64 {
+	q.gseq++
+	return q.gseq
+}
+
+// lfmark is the immutable (successor, marked) pair stored in next words.
+type lfmark struct {
+	next   *lfnode
+	marked bool
+}
+
+type lfnode struct {
+	key      int64
+	claimed  *sim.Word // int64: 0 live, else the claiming delete's ticket
+	stamp    *sim.Word // int64
+	next     []*sim.Word
+	topLevel int
+	isTail   bool
+}
+
+// NewLockFreeSkipQueue builds an empty simulated lock-free SkipQueue.
+func NewLockFreeSkipQueue(m *sim.Machine, maxLevel int, relaxed bool, seed uint64) *LockFreeSkipQueue {
+	if maxLevel <= 0 {
+		maxLevel = 16
+	}
+	q := &LockFreeSkipQueue{
+		m:        m,
+		maxLevel: maxLevel,
+		relaxed:  relaxed,
+		levels:   xrand.NewRand(seed),
+	}
+	q.tail = q.newNode(1<<63-1, maxLevel)
+	q.tail.isTail = true
+	q.head = q.newNode(-1<<63, maxLevel)
+	for i := 0; i < maxLevel; i++ {
+		q.head.next[i].SetInitial(&lfmark{next: q.tail})
+	}
+	q.head.claimed.SetInitial(int64(1))
+	q.tail.claimed.SetInitial(int64(1))
+	return q
+}
+
+func (q *LockFreeSkipQueue) newNode(key int64, level int) *lfnode {
+	n := &lfnode{
+		key:      key,
+		claimed:  q.m.NewWord(int64(0)),
+		stamp:    q.m.NewWord(maxTime),
+		next:     make([]*sim.Word, level),
+		topLevel: level,
+	}
+	for i := range n.next {
+		n.next[i] = q.m.NewWord((*lfmark)(nil))
+	}
+	return n
+}
+
+// Prefill links keys directly, charging nothing.
+func (q *LockFreeSkipQueue) Prefill(keys []int64) {
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	preds := make([]*lfnode, q.maxLevel)
+	for i := range preds {
+		preds[i] = q.head
+	}
+	for _, k := range sorted {
+		n := q.newNode(k, q.levels.GeometricLevel(0.5, q.maxLevel))
+		n.stamp.SetInitial(int64(0))
+		for i := 0; i < n.topLevel; i++ {
+			n.next[i].SetInitial(&lfmark{next: q.tail})
+			preds[i].next[i].SetInitial(&lfmark{next: n})
+			preds[i] = n
+		}
+	}
+}
+
+func lfLoad(p *sim.Proc, w *sim.Word) *lfmark {
+	v, _ := p.Read(w).(*lfmark)
+	return v
+}
+
+// find locates predecessors/successors of key (or of an exact target node),
+// unlinking marked nodes it passes.
+func (q *LockFreeSkipQueue) find(p *sim.Proc, key int64, target *lfnode, preds, succs []*lfnode) bool {
+retry:
+	for {
+		pred := q.head
+		for level := q.maxLevel - 1; level >= 0; level-- {
+			curr := lfLoad(p, pred.next[level]).next
+			for {
+				var mk *lfmark
+				if !curr.isTail {
+					mk = lfLoad(p, curr.next[level])
+				}
+				for mk != nil && mk.marked {
+					predMk := lfLoad(p, pred.next[level])
+					if predMk.next != curr || predMk.marked {
+						continue retry
+					}
+					if !p.CompareAndSwap(pred.next[level], predMk, &lfmark{next: mk.next}) {
+						continue retry
+					}
+					curr = mk.next
+					if curr.isTail {
+						mk = nil
+						break
+					}
+					mk = lfLoad(p, curr.next[level])
+				}
+				advance := false
+				if !curr.isTail {
+					if curr.key < key {
+						advance = true
+					} else if target != nil && curr != target && curr.key == key {
+						advance = true
+					}
+				}
+				if advance {
+					pred = curr
+					curr = mk.next
+					continue
+				}
+				break
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		bottom := succs[0]
+		if target != nil {
+			return bottom == target
+		}
+		return !bottom.isTail && bottom.key == key
+	}
+}
+
+// Insert adds key (unique keys assumed by the harness workload).
+func (q *LockFreeSkipQueue) Insert(p *sim.Proc, key int64) {
+	preds := make([]*lfnode, q.maxLevel)
+	succs := make([]*lfnode, q.maxLevel)
+	for {
+		if q.find(p, key, nil, preds, succs) {
+			existing := succs[0]
+			if p.Read(existing.claimed).(int64) == 0 {
+				// Key present and live: update-in-place is a stamp refresh
+				// here, mirroring the lock-based simulated queue.
+				p.Write(existing.stamp, q.readClock(p))
+				return
+			}
+			continue // claimed: retry until unlinked
+		}
+		topLevel := q.levels.GeometricLevel(0.5, q.maxLevel)
+		p.Work(20) // node allocation
+		nn := q.newNode(key, topLevel)
+		for i := 0; i < topLevel; i++ {
+			nn.next[i].SetInitial(&lfmark{next: succs[i]}) // pre-publication: free
+		}
+		predMk := lfLoad(p, preds[0].next[0])
+		if predMk.next != succs[0] || predMk.marked {
+			continue
+		}
+		if !p.CompareAndSwap(preds[0].next[0], predMk, &lfmark{next: nn}) {
+			continue
+		}
+		for level := 1; level < topLevel; level++ {
+			for {
+				mk := lfLoad(p, nn.next[level])
+				if mk.marked {
+					break
+				}
+				succ := succs[level]
+				if mk.next != succ {
+					if !p.CompareAndSwap(nn.next[level], mk, &lfmark{next: succ}) {
+						continue
+					}
+				}
+				predMk := lfLoad(p, preds[level].next[level])
+				if predMk.next == succ && !predMk.marked &&
+					p.CompareAndSwap(preds[level].next[level], predMk, &lfmark{next: nn}) {
+					break
+				}
+				q.find(p, key, nn, preds, succs)
+			}
+		}
+		stamp := q.readClock(p)
+		p.Write(nn.stamp, stamp)
+		if q.tracer != nil {
+			q.tracer(TraceEvent{Insert: true, Key: key, OK: true, Stamp: stamp, Done: q.seq()})
+		}
+		return
+	}
+}
+
+// DeleteMin claims the first eligible node with a SWAP and unlinks it. As
+// in the native implementation, the scan never traverses a marked node's
+// frozen pointer (which could bypass a smaller key spliced in after the
+// freeze); it helps unlink and re-reads a live pointer instead.
+func (q *LockFreeSkipQueue) DeleteMin(p *sim.Proc) (int64, bool) {
+	var t int64
+	if !q.relaxed {
+		t = q.readClock(p)
+	}
+retry:
+	for {
+		pred := q.head
+		curr := lfLoad(p, pred.next[0]).next
+		for !curr.isTail {
+			mk := lfLoad(p, curr.next[0])
+			if mk.marked {
+				predMk := lfLoad(p, pred.next[0])
+				if predMk.marked || predMk.next != curr {
+					continue retry
+				}
+				if !p.CompareAndSwap(pred.next[0], predMk, &lfmark{next: mk.next}) {
+					continue retry
+				}
+				curr = mk.next
+				continue
+			}
+			eligible := q.relaxed
+			if !eligible {
+				eligible = p.Read(curr.stamp).(int64) < t
+			}
+			if eligible && p.Read(curr.claimed).(int64) == 0 {
+				ticket := q.seq()
+				if p.CompareAndSwap(curr.claimed, int64(0), ticket) {
+					if q.tracer != nil {
+						q.tracer(TraceEvent{Key: curr.key, OK: true, Start: t, Stamp: ticket})
+					}
+					q.remove(p, curr)
+					return curr.key, true
+				}
+				continue // lost the claim race; re-examine curr
+			}
+			pred = curr
+			curr = mk.next
+		}
+		if q.tracer != nil {
+			q.tracer(TraceEvent{Start: t, Stamp: q.seq()})
+		}
+		return 0, false
+	}
+}
+
+func (q *LockFreeSkipQueue) remove(p *sim.Proc, victim *lfnode) {
+	for level := victim.topLevel - 1; level >= 0; level-- {
+		for {
+			mk := lfLoad(p, victim.next[level])
+			if mk.marked {
+				break
+			}
+			if p.CompareAndSwap(victim.next[level], mk, &lfmark{next: mk.next, marked: true}) {
+				break
+			}
+		}
+	}
+	preds := make([]*lfnode, q.maxLevel)
+	succs := make([]*lfnode, q.maxLevel)
+	q.find(p, victim.key, victim, preds, succs)
+}
+
+// Keys returns live keys in order (quiescent machines only).
+func (q *LockFreeSkipQueue) Keys() []int64 {
+	var out []int64
+	n := q.head.next[0].Peek().(*lfmark).next
+	for !n.isTail {
+		if mk := n.next[0].Peek().(*lfmark); !mk.marked {
+			if n.claimed.Peek().(int64) == 0 {
+				out = append(out, n.key)
+			}
+		}
+		n = n.next[0].Peek().(*lfmark).next
+	}
+	return out
+}

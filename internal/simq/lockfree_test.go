@@ -1,0 +1,145 @@
+package simq
+
+import (
+	"testing"
+
+	"skipqueue/internal/sim"
+)
+
+func TestLockFreeSimSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	q := NewLockFreeSkipQueue(m, 10, false, 1)
+	q.Prefill(seqKeys(200))
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := q.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	if len(got) != 200 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i)*10 {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestLockFreeSimInsertThenSorted(t *testing.T) {
+	m := sim.New(sim.Defaults(8))
+	q := NewLockFreeSkipQueue(m, 10, false, 3)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			q.Insert(p, int64(p.ID*1000+i))
+		}
+	})
+	keys := q.Keys()
+	if len(keys) != 8*40 {
+		t.Fatalf("holds %d keys, want %d", len(keys), 8*40)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys unsorted at %d", i)
+		}
+	}
+}
+
+func TestLockFreeSimConcurrentDrain(t *testing.T) {
+	keys := seqKeys(300)
+	results := drainAll(t, 8, func(m *sim.Machine) PQ {
+		q := NewLockFreeSkipQueue(m, 10, false, 2)
+		q.Prefill(keys)
+		return q
+	})
+	checkNoLossNoDup(t, results, keys)
+	for pid, res := range results {
+		for i := 1; i < len(res); i++ {
+			if res[i] <= res[i-1] {
+				t.Fatalf("proc %d: keys not increasing", pid)
+			}
+		}
+	}
+}
+
+func TestLockFreeSimMixedConservation(t *testing.T) {
+	for _, relaxed := range []bool{false, true} {
+		m := sim.New(sim.Defaults(16))
+		q := NewLockFreeSkipQueue(m, 12, relaxed, 5)
+		init := seqKeys(100)
+		q.Prefill(init)
+		mineInserted := make([][]int64, 16)
+		mineDeleted := make([][]int64, 16)
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					k := int64(1_000_000 + p.ID*10_000 + i)
+					q.Insert(p, k)
+					mineInserted[p.ID] = append(mineInserted[p.ID], k)
+				} else if k, ok := q.DeleteMin(p); ok {
+					mineDeleted[p.ID] = append(mineDeleted[p.ID], k)
+				}
+			}
+		})
+		expect := map[int64]bool{}
+		for _, k := range init {
+			expect[k] = true
+		}
+		for _, ins := range mineInserted {
+			for _, k := range ins {
+				expect[k] = true
+			}
+		}
+		for _, del := range mineDeleted {
+			for _, k := range del {
+				if !expect[k] {
+					t.Fatalf("relaxed=%v: deleted unknown key %d", relaxed, k)
+				}
+				delete(expect, k)
+			}
+		}
+		for _, k := range q.Keys() {
+			if !expect[k] {
+				t.Fatalf("relaxed=%v: unexpected remaining key %d", relaxed, k)
+			}
+			delete(expect, k)
+		}
+		if len(expect) != 0 {
+			t.Fatalf("relaxed=%v: %d keys lost", relaxed, len(expect))
+		}
+	}
+}
+
+func TestLockFreeSimDeterministic(t *testing.T) {
+	run := func() []int64 {
+		m := sim.New(sim.Defaults(8))
+		q := NewLockFreeSkipQueue(m, 10, false, 7)
+		q.Prefill(seqKeys(50))
+		finish := make([]int64, 8)
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					q.Insert(p, p.Rand.Int63())
+				} else {
+					q.DeleteMin(p)
+				}
+			}
+			finish[p.ID] = p.Now()
+		})
+		return finish
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at proc %d", i)
+		}
+	}
+}
+
+var _ PQ = (*LockFreeSkipQueue)(nil)

@@ -1,0 +1,631 @@
+package simq
+
+import (
+	"sort"
+	"testing"
+
+	"skipqueue/internal/sim"
+)
+
+// drainAll runs a machine where processors cooperatively drain the queue and
+// returns every key delivered, in per-processor order.
+func drainAll(t *testing.T, procs int, build func(m *sim.Machine) PQ) [][]int64 {
+	t.Helper()
+	m := sim.New(sim.Defaults(procs))
+	q := build(m)
+	results := make([][]int64, procs)
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := q.DeleteMin(p)
+			if !ok {
+				return
+			}
+			results[p.ID] = append(results[p.ID], k)
+		}
+	})
+	return results
+}
+
+func checkNoLossNoDup(t *testing.T, results [][]int64, want []int64) {
+	t.Helper()
+	seen := map[int64]int{}
+	total := 0
+	for _, res := range results {
+		for _, k := range res {
+			seen[k]++
+			total++
+		}
+	}
+	if total != len(want) {
+		t.Fatalf("delivered %d keys, want %d", total, len(want))
+	}
+	for _, k := range want {
+		if seen[k] != 1 {
+			t.Fatalf("key %d delivered %d times", k, seen[k])
+		}
+	}
+}
+
+func seqKeys(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) * 10
+	}
+	return out
+}
+
+func TestSkipQueueSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	q := NewSkipQueue(m, 10, false, 1)
+	q.Prefill(seqKeys(200))
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := q.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	if len(got) != 200 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i)*10 {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestSkipQueueInsertThenDrainSorted(t *testing.T) {
+	m := sim.New(sim.Defaults(8))
+	q := NewSkipQueue(m, 10, false, 1)
+	inserted := make([][]int64, 8)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			k := int64(p.ID*1000 + i)
+			q.Insert(p, k)
+			inserted[p.ID] = append(inserted[p.ID], k)
+		}
+	})
+	keys := q.Keys()
+	if len(keys) != 8*40 {
+		t.Fatalf("queue holds %d keys, want %d", len(keys), 8*40)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestSkipQueueConcurrentMixedNoLoss(t *testing.T) {
+	for _, relaxed := range []bool{false, true} {
+		m := sim.New(sim.Defaults(16))
+		q := NewSkipQueue(m, 12, relaxed, 3)
+		init := seqKeys(100)
+		q.Prefill(init)
+		var mineInserted [][]int64 = make([][]int64, 16)
+		var mineDeleted [][]int64 = make([][]int64, 16)
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					k := int64(1_000_000 + p.ID*10_000 + i)
+					q.Insert(p, k)
+					mineInserted[p.ID] = append(mineInserted[p.ID], k)
+				} else if k, ok := q.DeleteMin(p); ok {
+					mineDeleted[p.ID] = append(mineDeleted[p.ID], k)
+				}
+			}
+		})
+		// Conservation: prefill + inserted = deleted + remaining.
+		expect := map[int64]bool{}
+		for _, k := range init {
+			expect[k] = true
+		}
+		for _, ins := range mineInserted {
+			for _, k := range ins {
+				expect[k] = true
+			}
+		}
+		for _, del := range mineDeleted {
+			for _, k := range del {
+				if !expect[k] {
+					t.Fatalf("relaxed=%v: deleted unknown key %d", relaxed, k)
+				}
+				delete(expect, k)
+			}
+		}
+		for _, k := range q.Keys() {
+			if !expect[k] {
+				t.Fatalf("relaxed=%v: remaining key %d unexpected", relaxed, k)
+			}
+			delete(expect, k)
+		}
+		if len(expect) != 0 {
+			t.Fatalf("relaxed=%v: %d keys lost", relaxed, len(expect))
+		}
+	}
+}
+
+func TestSkipQueueConcurrentDrain(t *testing.T) {
+	keys := seqKeys(300)
+	results := drainAll(t, 8, func(m *sim.Machine) PQ {
+		q := NewSkipQueue(m, 10, false, 2)
+		q.Prefill(keys)
+		return q
+	})
+	checkNoLossNoDup(t, results, keys)
+	// Per-processor sequences must be increasing (strict queue, quiescent
+	// inserts).
+	for pid, res := range results {
+		for i := 1; i < len(res); i++ {
+			if res[i] <= res[i-1] {
+				t.Fatalf("proc %d: keys not increasing: %d after %d", pid, res[i], res[i-1])
+			}
+		}
+	}
+}
+
+func TestHeapSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	h := NewHeap(m, 512)
+	h.Prefill(seqKeys(200))
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := h.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	if len(got) != 200 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i)*10 {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestHeapPrefillOccupancyMatchesBitReversal(t *testing.T) {
+	// DeleteMin after Prefill(n) claims slot BitReversed(n): that slot must
+	// be occupied for every n.
+	for n := 1; n <= 64; n++ {
+		m := sim.New(sim.Defaults(1))
+		h := NewHeap(m, 64)
+		h.Prefill(seqKeys(n))
+		count := 0
+		m.Run(func(p *sim.Proc) {
+			for {
+				if _, ok := h.DeleteMin(p); !ok {
+					return
+				}
+				count++
+			}
+		})
+		if count != n {
+			t.Fatalf("n=%d: drained %d", n, count)
+		}
+	}
+}
+
+func TestHeapInsertThenDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(8))
+	h := NewHeap(m, 1024)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			h.Insert(p, int64(p.ID*1000+i))
+		}
+	})
+	keys := h.Keys()
+	if len(keys) != 8*40 {
+		t.Fatalf("heap holds %d keys", len(keys))
+	}
+	results := make([][]int64, 1)
+	m2 := sim.New(sim.Defaults(1))
+	_ = m2 // single machine per run; drain on the same machine is invalid.
+	// Drain with a fresh single-proc machine is not possible (words belong
+	// to m), so drain sequentially via Keys comparison instead.
+	sortedCopy := append([]int64(nil), keys...)
+	sort.Slice(sortedCopy, func(i, j int) bool { return sortedCopy[i] < sortedCopy[j] })
+	for i := range keys {
+		if keys[i] != sortedCopy[i] {
+			t.Fatalf("Keys not sorted at %d", i)
+		}
+	}
+	_ = results
+}
+
+func TestHeapConcurrentMixedConservation(t *testing.T) {
+	m := sim.New(sim.Defaults(16))
+	h := NewHeap(m, 4096)
+	init := seqKeys(100)
+	h.Prefill(init)
+	mineInserted := make([][]int64, 16)
+	mineDeleted := make([][]int64, 16)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			p.Work(100)
+			if p.Rand.Bool(0.5) {
+				k := int64(1_000_000 + p.ID*10_000 + i)
+				h.Insert(p, k)
+				mineInserted[p.ID] = append(mineInserted[p.ID], k)
+			} else if k, ok := h.DeleteMin(p); ok {
+				mineDeleted[p.ID] = append(mineDeleted[p.ID], k)
+			}
+		}
+	})
+	expect := map[int64]bool{}
+	for _, k := range init {
+		expect[k] = true
+	}
+	for _, ins := range mineInserted {
+		for _, k := range ins {
+			expect[k] = true
+		}
+	}
+	for _, del := range mineDeleted {
+		for _, k := range del {
+			if !expect[k] {
+				t.Fatalf("deleted unknown key %d", k)
+			}
+			delete(expect, k)
+		}
+	}
+	for _, k := range h.Keys() {
+		if !expect[k] {
+			t.Fatalf("remaining key %d unexpected", k)
+		}
+		delete(expect, k)
+	}
+	if len(expect) != 0 {
+		t.Fatalf("%d keys lost", len(expect))
+	}
+}
+
+func TestHeapConcurrentDrain(t *testing.T) {
+	keys := seqKeys(300)
+	results := drainAll(t, 8, func(m *sim.Machine) PQ {
+		h := NewHeap(m, 512)
+		h.Prefill(keys)
+		return h
+	})
+	checkNoLossNoDup(t, results, keys)
+}
+
+func TestFunnelListSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	f := NewFunnelList(m, 2, 8, 4)
+	f.Prefill(seqKeys(200))
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := f.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	if len(got) != 200 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i)*10 {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestFunnelListInsertSorted(t *testing.T) {
+	m := sim.New(sim.Defaults(8))
+	f := NewFunnelList(m, 2, 8, 4)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			f.Insert(p, int64(p.Rand.Intn(1000)))
+		}
+	})
+	keys := f.Keys()
+	if len(keys) != 8*30 {
+		t.Fatalf("list holds %d keys, want %d", len(keys), 8*30)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("list not sorted after concurrent inserts")
+	}
+}
+
+func TestFunnelListConcurrentDrain(t *testing.T) {
+	keys := seqKeys(300)
+	results := drainAll(t, 8, func(m *sim.Machine) PQ {
+		f := NewFunnelList(m, 2, 8, 4)
+		f.Prefill(keys)
+		return f
+	})
+	checkNoLossNoDup(t, results, keys)
+}
+
+func TestFunnelListMixedConservation(t *testing.T) {
+	m := sim.New(sim.Defaults(16))
+	f := NewFunnelList(m, 2, 16, 4)
+	init := seqKeys(100)
+	f.Prefill(init)
+	mineInserted := make([][]int64, 16)
+	mineDeleted := make([][]int64, 16)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			p.Work(100)
+			if p.Rand.Bool(0.5) {
+				k := int64(1_000_000 + p.ID*10_000 + i)
+				f.Insert(p, k)
+				mineInserted[p.ID] = append(mineInserted[p.ID], k)
+			} else if k, ok := f.DeleteMin(p); ok {
+				mineDeleted[p.ID] = append(mineDeleted[p.ID], k)
+			}
+		}
+	})
+	expect := map[int64]bool{}
+	for _, k := range init {
+		expect[k] = true
+	}
+	for _, ins := range mineInserted {
+		for _, k := range ins {
+			expect[k] = true
+		}
+	}
+	for _, del := range mineDeleted {
+		for _, k := range del {
+			if !expect[k] {
+				t.Fatalf("deleted unknown key %d", k)
+			}
+			delete(expect, k)
+		}
+	}
+	for _, k := range f.Keys() {
+		if !expect[k] {
+			t.Fatalf("remaining key %d unexpected", k)
+		}
+		delete(expect, k)
+	}
+	if len(expect) != 0 {
+		t.Fatalf("%d keys lost", len(expect))
+	}
+}
+
+func TestSimQueuesDeterministic(t *testing.T) {
+	run := func() []int64 {
+		m := sim.New(sim.Defaults(8))
+		q := NewSkipQueue(m, 10, false, 7)
+		q.Prefill(seqKeys(50))
+		finish := make([]int64, 8)
+		m.Run(func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Work(100)
+				if p.Rand.Bool(0.5) {
+					q.Insert(p, p.Rand.Int63())
+				} else {
+					q.DeleteMin(p)
+				}
+			}
+			finish[p.ID] = p.Now()
+		})
+		return finish
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at proc %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStrictIgnoresConcurrentInserts(t *testing.T) {
+	// A strict DeleteMin that starts before any insert completes must see
+	// the prefilled minimum, not a concurrently inserted smaller key.
+	m := sim.New(sim.Defaults(2))
+	q := NewSkipQueue(m, 8, false, 1)
+	q.Prefill([]int64{500})
+	var got int64
+	m.Run(func(p *sim.Proc) {
+		if p.ID == 0 {
+			// Insert a smaller key, completing "concurrently".
+			q.Insert(p, 100)
+		} else {
+			k, ok := q.DeleteMin(p)
+			if !ok {
+				t.Error("delete-min found nothing")
+				return
+			}
+			got = k
+		}
+	})
+	if got != 500 && got != 100 {
+		t.Fatalf("DeleteMin = %d", got)
+	}
+	// Whichever was returned, both keys must be conserved overall.
+	rest := q.Keys()
+	if len(rest) != 1 {
+		t.Fatalf("remaining = %v", rest)
+	}
+}
+
+var _ PQ = (*SkipQueue)(nil)
+var _ PQ = (*Heap)(nil)
+var _ PQ = (*FunnelList)(nil)
+
+func TestGlobalHeapSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	h := NewGlobalHeap(m)
+	h.Prefill(seqKeys(200))
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := h.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	if len(got) != 200 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i)*10 {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestGlobalHeapConcurrentDrain(t *testing.T) {
+	keys := seqKeys(300)
+	results := drainAll(t, 8, func(m *sim.Machine) PQ {
+		h := NewGlobalHeap(m)
+		h.Prefill(keys)
+		return h
+	})
+	checkNoLossNoDup(t, results, keys)
+}
+
+func TestGlobalHeapMixedConservation(t *testing.T) {
+	m := sim.New(sim.Defaults(8))
+	h := NewGlobalHeap(m)
+	init := seqKeys(50)
+	h.Prefill(init)
+	mineInserted := make([][]int64, 8)
+	mineDeleted := make([][]int64, 8)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			p.Work(100)
+			if p.Rand.Bool(0.5) {
+				k := int64(1_000_000 + p.ID*10_000 + i)
+				h.Insert(p, k)
+				mineInserted[p.ID] = append(mineInserted[p.ID], k)
+			} else if k, ok := h.DeleteMin(p); ok {
+				mineDeleted[p.ID] = append(mineDeleted[p.ID], k)
+			}
+		}
+	})
+	expect := map[int64]bool{}
+	for _, k := range init {
+		expect[k] = true
+	}
+	for _, ins := range mineInserted {
+		for _, k := range ins {
+			expect[k] = true
+		}
+	}
+	for _, del := range mineDeleted {
+		for _, k := range del {
+			if !expect[k] {
+				t.Fatalf("deleted unknown key %d", k)
+			}
+			delete(expect, k)
+		}
+	}
+	for _, k := range h.Keys() {
+		if !expect[k] {
+			t.Fatalf("unexpected remaining key %d", k)
+		}
+		delete(expect, k)
+	}
+	if len(expect) != 0 {
+		t.Fatalf("%d keys lost", len(expect))
+	}
+}
+
+var _ PQ = (*GlobalHeap)(nil)
+
+func TestBoundedQueueSequentialDrain(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	q := NewBoundedQueue(m, 64)
+	keys := []int64{5, 5, 63, 0, 17, 0}
+	q.Prefill(keys)
+	var got []int64
+	m.Run(func(p *sim.Proc) {
+		for {
+			k, ok := q.DeleteMin(p)
+			if !ok {
+				return
+			}
+			got = append(got, k)
+		}
+	})
+	want := []int64{0, 0, 5, 5, 17, 63}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBoundedQueueHintRecovery(t *testing.T) {
+	m := sim.New(sim.Defaults(1))
+	q := NewBoundedQueue(m, 64)
+	m.Run(func(p *sim.Proc) {
+		q.Insert(p, 50)
+		q.DeleteMin(p) // hint advances toward 50
+		q.Insert(p, 3) // must lower it back
+		if k, ok := q.DeleteMin(p); !ok || k != 3 {
+			t.Errorf("DeleteMin = %d,%v, want 3", k, ok)
+		}
+	})
+}
+
+func TestBoundedQueueConcurrentConservation(t *testing.T) {
+	m := sim.New(sim.Defaults(16))
+	q := NewBoundedQueue(m, 32)
+	init := []int64{1, 2, 3, 30, 31}
+	q.Prefill(init)
+	inserted := make([][]int64, 16)
+	deleted := make([][]int64, 16)
+	m.Run(func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			p.Work(100)
+			if p.Rand.Bool(0.5) {
+				k := int64(p.Rand.Intn(32))
+				q.Insert(p, k)
+				inserted[p.ID] = append(inserted[p.ID], k)
+			} else if k, ok := q.DeleteMin(p); ok {
+				deleted[p.ID] = append(deleted[p.ID], k)
+			}
+		}
+	})
+	// Multiset conservation per key.
+	count := map[int64]int{}
+	for _, k := range init {
+		count[k]++
+	}
+	for _, ins := range inserted {
+		for _, k := range ins {
+			count[k]++
+		}
+	}
+	for _, del := range deleted {
+		for _, k := range del {
+			count[k]--
+			if count[k] < 0 {
+				t.Fatalf("key %d over-delivered", k)
+			}
+		}
+	}
+	for _, k := range q.Keys() {
+		count[k]--
+		if count[k] < 0 {
+			t.Fatalf("key %d over-remaining", k)
+		}
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("key %d imbalance %d", k, c)
+		}
+	}
+}
+
+var _ PQ = (*BoundedQueue)(nil)

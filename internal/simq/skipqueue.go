@@ -1,0 +1,374 @@
+// Package simq contains the three priority queues of the paper's evaluation
+// implemented against the simulated multiprocessor (internal/sim), mirroring
+// what Lotan and Shavit ran on Proteus:
+//
+//   - SkipQueue (strict and relaxed): the paper's contribution, following
+//     the pseudocode of Figures 9–11 operation by operation;
+//   - Heap: the Hunt et al. concurrent heap;
+//   - FunnelList: the combining-funnel-fronted sorted linked list.
+//
+// Every shared read, write, swap, lock and unlock goes through sim.Proc, so
+// each operation's simulated latency includes memory hot-spot queueing and
+// lock contention. Elements carry only an int64 priority, as in the paper's
+// synthetic benchmarks.
+package simq
+
+import (
+	"sort"
+
+	"skipqueue/internal/sim"
+	"skipqueue/internal/xrand"
+)
+
+// PQ is the operation interface the harness drives. Implementations are
+// created per machine and must only be used by that machine's processors.
+type PQ interface {
+	// Insert adds key to the queue, charging simulated time to p.
+	Insert(p *sim.Proc, key int64)
+	// DeleteMin removes and returns the smallest eligible key.
+	DeleteMin(p *sim.Proc) (int64, bool)
+}
+
+// sqnode is a simulated SkipQueue node. Immutable fields (key, tower size)
+// live in plain Go fields: on a real machine they share the cache line
+// fetched by the pointer read that discovered the node. Mutable shared state
+// lives in sim Words and Locks.
+type sqnode struct {
+	key     int64
+	next    []*sim.Word // level i successor (*sqnode)
+	locks   []*sim.Lock // level i splice lock
+	nodeLk  *sim.Lock   // whole-node lock
+	deleted *sim.Word   // int64: 0 live, else the claiming delete's ticket
+	stamp   *sim.Word   // int64 completion timestamp
+}
+
+func (n *sqnode) level() int { return len(n.next) }
+
+// SkipQueue is the simulated Lotan/Shavit queue.
+type SkipQueue struct {
+	m        *sim.Machine
+	maxLevel int
+	p        float64
+	relaxed  bool
+	head     *sqnode
+	tail     *sqnode
+	levels   *xrand.Rand // used by Prefill and by randomLevel (token-serialized)
+
+	// garbage is the per-processor garbage list head the paper's deleting
+	// processors append to (PutOnGarbageList); one word per processor so
+	// appends don't contend.
+	garbage []*sim.Word
+
+	// gc, when non-nil, activates the paper's explicit reclamation
+	// protocol (see gc.go).
+	gc *gcState
+
+	// gseq is the value source for the simulated shared clock: reading the
+	// clock is charged through sim.Proc.ReadClock for timing, but the
+	// VALUE comes from this token-serialized counter, so stamps, starts
+	// and claim tickets are unique and totally ordered by execution order
+	// — exactly what the Definition 1 checker needs.
+	gseq int64
+
+	// tracer, when non-nil, observes operations for history checking.
+	tracer func(ev TraceEvent)
+}
+
+// TraceEvent mirrors lincheck.Op for the simulated queue.
+type TraceEvent struct {
+	Insert bool
+	Key    int64
+	OK     bool
+	Stamp  int64
+	Done   int64
+	Start  int64
+}
+
+// SetTracer installs fn to observe operations (strict mode only).
+func (q *SkipQueue) SetTracer(fn func(TraceEvent)) {
+	if q.relaxed {
+		panic("simq: SetTracer requires the strict ordering mode")
+	}
+	q.tracer = fn
+}
+
+// readClock charges a shared clock read and returns the next logical value.
+func (q *SkipQueue) readClock(p *sim.Proc) int64 {
+	p.ReadClock()
+	q.gseq++
+	return q.gseq
+}
+
+// seq returns the next logical value without a charged access (trace
+// evidence only).
+func (q *SkipQueue) seq() int64 {
+	q.gseq++
+	return q.gseq
+}
+
+// maxTime mirrors vclock.MaxTime for the simulated clock.
+const maxTime = int64(1<<63 - 1)
+
+// NewSkipQueue builds an empty simulated SkipQueue on machine m. maxLevel
+// follows the paper: log2 of the expected maximum queue size.
+func NewSkipQueue(m *sim.Machine, maxLevel int, relaxed bool, seed uint64) *SkipQueue {
+	if maxLevel <= 0 {
+		maxLevel = 16
+	}
+	q := &SkipQueue{
+		m:        m,
+		maxLevel: maxLevel,
+		p:        0.5,
+		relaxed:  relaxed,
+		levels:   xrand.NewRand(seed),
+	}
+	q.tail = q.newNode(1<<63-1, maxLevel)
+	q.head = q.newNode(-1<<63, maxLevel)
+	// Sentinels are born marked: a DeleteMin scan that bounces onto the
+	// head via a removed node's backward pointer must skip it, never claim
+	// it.
+	q.head.deleted.SetInitial(int64(1))
+	q.tail.deleted.SetInitial(int64(1))
+	for i := 0; i < maxLevel; i++ {
+		q.head.next[i].SetInitial(q.tail)
+	}
+	q.garbage = make([]*sim.Word, m.Procs())
+	for i := range q.garbage {
+		q.garbage[i] = m.NewWord(nil)
+	}
+	return q
+}
+
+func (q *SkipQueue) newNode(key int64, level int) *sqnode {
+	n := &sqnode{
+		key:     key,
+		next:    make([]*sim.Word, level),
+		locks:   make([]*sim.Lock, level),
+		nodeLk:  q.m.NewLock(),
+		deleted: q.m.NewWord(int64(0)),
+		stamp:   q.m.NewWord(maxTime),
+	}
+	for i := range n.next {
+		n.next[i] = q.m.NewWord(nil)
+		n.locks[i] = q.m.NewLock()
+	}
+	return n
+}
+
+func (q *SkipQueue) randomLevel() int {
+	return q.levels.GeometricLevel(q.p, q.maxLevel)
+}
+
+// Prefill links keys into the queue directly, without charging simulated
+// time: the paper's benchmarks measure steady state on a pre-populated
+// structure, so construction is free.
+func (q *SkipQueue) Prefill(keys []int64) {
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// preds[i] is the most recent node linked at level i.
+	preds := make([]*sqnode, q.maxLevel)
+	for i := range preds {
+		preds[i] = q.head
+	}
+	for _, k := range sorted {
+		n := q.newNode(k, q.randomLevel())
+		n.stamp.SetInitial(int64(0)) // inserted "long ago"
+		for i := 0; i < n.level(); i++ {
+			n.next[i].SetInitial(q.tail)
+			preds[i].next[i].SetInitial(n)
+			preds[i] = n
+		}
+	}
+}
+
+// readNode loads a successor pointer, treating nil as the tail (words start
+// nil before initialization; Prefill and Insert always store real nodes).
+func readNode(p *sim.Proc, w *sim.Word) *sqnode {
+	v := p.Read(w)
+	if v == nil {
+		return nil
+	}
+	return v.(*sqnode)
+}
+
+// getLock is Figure 9: lock the level-th pointer of the rightmost node with
+// key < key, revalidating after acquisition.
+func (q *SkipQueue) getLock(p *sim.Proc, node1 *sqnode, key int64, level int) *sqnode {
+	node2 := readNode(p, node1.next[level])
+	for node2.key < key {
+		node1 = node2
+		node2 = readNode(p, node1.next[level])
+	}
+	p.Lock(node1.locks[level])
+	node2 = readNode(p, node1.next[level])
+	for node2.key < key {
+		p.Unlock(node1.locks[level])
+		node1 = node2
+		p.Lock(node1.locks[level])
+		node2 = readNode(p, node1.next[level])
+	}
+	return node1
+}
+
+// search is Figure 10 lines 1–9: collect the per-level predecessors.
+func (q *SkipQueue) search(p *sim.Proc, key int64, saved []*sqnode) {
+	node1 := q.head
+	for i := q.maxLevel - 1; i >= 0; i-- {
+		node2 := readNode(p, node1.next[i])
+		for node2.key < key {
+			node1 = node2
+			node2 = readNode(p, node1.next[i])
+		}
+		saved[i] = node1
+	}
+}
+
+// Insert is Figure 10. Keys in the harness are 63-bit uniform draws, so the
+// duplicate-update path is exercised only by tests.
+func (q *SkipQueue) Insert(p *sim.Proc, key int64) {
+	saved := make([]*sqnode, q.maxLevel)
+	q.search(p, key, saved)
+
+	node1 := q.getLock(p, saved[0], key, 0)
+	node2 := readNode(p, node1.next[0])
+	if node2.key == key {
+		// Key present: update the value in place (our elements carry no
+		// payload, so the write is to the deleted flag's cache line — one
+		// charged access, like the paper's node2->value = value).
+		p.Write(node2.stamp, q.readClock(p))
+		p.Unlock(node1.locks[0])
+		return
+	}
+
+	level := q.randomLevel()
+	p.Work(20) // CreateNode: local allocation and initialization
+	nn := q.newNode(key, level)
+	p.Lock(nn.nodeLk)
+	for i := 0; i < level; i++ {
+		if i != 0 {
+			node1 = q.getLock(p, saved[i], key, i)
+		}
+		p.Write(nn.next[i], readNode(p, node1.next[i]))
+		p.Write(node1.next[i], nn)
+		p.Unlock(node1.locks[i])
+	}
+	p.Unlock(nn.nodeLk)
+	stamp := q.readClock(p)
+	p.Write(nn.stamp, stamp) // Figure 10 line 29
+	if q.tracer != nil {
+		q.tracer(TraceEvent{Insert: true, Key: key, OK: true, Stamp: stamp, Done: q.seq()})
+	}
+}
+
+// DeleteMin is Figure 11: claim the first eligible unmarked bottom-level
+// node, then physically remove it.
+func (q *SkipQueue) DeleteMin(p *sim.Proc) (int64, bool) {
+	victim, start, ticket, ok := q.claimMin(p)
+	if !ok {
+		if q.tracer != nil {
+			q.tracer(TraceEvent{Start: start, Stamp: q.seq()})
+		}
+		return 0, false // EMPTY
+	}
+	if q.tracer != nil {
+		q.tracer(TraceEvent{Key: victim.key, OK: true, Start: start, Stamp: ticket})
+	}
+	q.removeNode(p, victim)
+	return victim.key, true
+}
+
+// claimMin performs the logical deletion (Figure 11 lines 1–10): read the
+// clock, scan the bottom level skipping nodes inserted after the scan began,
+// and claim the first unmarked node with a SWAP on its deleted flag.
+func (q *SkipQueue) claimMin(p *sim.Proc) (victim *sqnode, start, ticket int64, ok bool) {
+	if !q.relaxed {
+		start = q.readClock(p) // line 1
+	}
+	node1 := readNode(p, q.head.next[0])
+	for node1 != q.tail {
+		eligible := q.relaxed
+		if !eligible {
+			eligible = p.Read(node1.stamp).(int64) < start // line 4
+		}
+		if eligible {
+			// The SWAP of line 5, carrying a ticket drawn just before the
+			// winning atomic (see internal/core for the rationale). The
+			// ticket is consumed from the counter before the CAS so no
+			// later draw can collide with it.
+			ticket = q.seq()
+			if p.CompareAndSwap(node1.deleted, int64(0), ticket) {
+				return node1, start, ticket, true
+			}
+		}
+		node1 = readNode(p, node1.next[0])
+	}
+	return nil, start, 0, false
+}
+
+// removeNode performs the physical removal of a claimed node (Figure 11
+// lines 15–37).
+func (q *SkipQueue) removeNode(p *sim.Proc, victim *sqnode) {
+	saved := make([]*sqnode, q.maxLevel)
+	q.search(p, victim.key, saved)
+
+	p.Lock(victim.nodeLk) // line 27
+	for i := victim.level() - 1; i >= 0; i-- {
+		pred := q.getLockFor(p, saved[i], victim, i)
+		p.Lock(victim.locks[i])
+		p.Write(pred.next[i], readNode(p, victim.next[i]))
+		p.Write(victim.next[i], pred) // point backwards (line 32)
+		p.Unlock(victim.locks[i])
+		p.Unlock(pred.locks[i])
+	}
+	p.Unlock(victim.nodeLk)
+	q.putGarbage(p, victim) // PutOnGarbageList (line 37)
+}
+
+// getLockFor locks the immediate level-i predecessor of victim (pointer
+// identity, since the victim is already claimed and must be the node
+// unlinked).
+func (q *SkipQueue) getLockFor(p *sim.Proc, start, victim *sqnode, level int) *sqnode {
+	node1 := start
+	node2 := readNode(p, node1.next[level])
+	for node2 != victim && node2.key <= victim.key {
+		node1 = node2
+		node2 = readNode(p, node1.next[level])
+	}
+	p.Lock(node1.locks[level])
+	for {
+		node2 = readNode(p, node1.next[level])
+		if node2 == victim {
+			return node1
+		}
+		if node2.key > victim.key {
+			// Bounced off a backward pointer; restart from the head.
+			p.Unlock(node1.locks[level])
+			node1 = q.head
+			p.Lock(node1.locks[level])
+			continue
+		}
+		p.Unlock(node1.locks[level])
+		node1 = node2
+		p.Lock(node1.locks[level])
+	}
+}
+
+// Keys returns the live keys in order, for test verification on quiescent
+// machines. It reads the structure directly, charging no simulated time.
+func (q *SkipQueue) Keys() []int64 {
+	var out []int64
+	for n := q.head.peek(0); n != q.tail; n = n.peek(0) {
+		if n.deleted.Peek().(int64) == 0 {
+			out = append(out, n.key)
+		}
+	}
+	return out
+}
+
+func (n *sqnode) peek(level int) *sqnode {
+	v := n.next[level].Peek()
+	if v == nil {
+		return nil
+	}
+	return v.(*sqnode)
+}

@@ -1,0 +1,91 @@
+package skiplist
+
+import "testing"
+
+// FuzzIndexedModel drives the order-statistics list from a byte string
+// against a model: op = b%4 (set/get/delete/order-statistics check) on key
+// b/4. Plain `go test` replays the seed corpus; use -fuzz for exploration.
+func FuzzIndexedModel(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 1, 2, 3})
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 3, 0, 3})
+	f.Add([]byte{252, 248, 0, 2, 6, 250})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := NewIndexed[int, int](WithSeed(7))
+		model := map[int]int{}
+		for step, b := range data {
+			k := int(b / 4)
+			switch b % 4 {
+			case 0:
+				l.Set(k, step)
+				model[k] = step
+			case 1:
+				gv, gok := l.Get(k)
+				mv, mok := model[k]
+				if gok != mok || (gok && gv != mv) {
+					t.Fatalf("Get(%d) = %d,%v want %d,%v", k, gv, gok, mv, mok)
+				}
+			case 2:
+				dv, dok := l.Delete(k)
+				mv, mok := model[k]
+				if dok != mok || (dok && dv != mv) {
+					t.Fatalf("Delete(%d) = %d,%v want %d,%v", k, dv, dok, mv, mok)
+				}
+				delete(model, k)
+			case 3:
+				if l.Len() != len(model) {
+					t.Fatalf("Len = %d, want %d", l.Len(), len(model))
+				}
+				if len(model) > 0 {
+					i := step % len(model)
+					ak, _, ok := l.At(i)
+					if !ok {
+						t.Fatalf("At(%d) failed with %d elements", i, len(model))
+					}
+					if r := l.Rank(ak); r != i {
+						t.Fatalf("Rank(At(%d)) = %d", i, r)
+					}
+				}
+			}
+		}
+		if !l.CheckInvariants() {
+			t.Fatal("invariants violated")
+		}
+	})
+}
+
+// FuzzConcurrentListSequential replays byte-driven single-threaded workloads
+// through the concurrent list; the concurrency tests cover parallel
+// interleavings, this covers odd operation orders.
+func FuzzConcurrentListSequential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := New[int, int](WithSeed(3))
+		model := map[int]int{}
+		for step, b := range data {
+			k := int(b / 3)
+			switch b % 3 {
+			case 0:
+				l.Set(k, step)
+				model[k] = step
+			case 1:
+				gv, gok := l.Get(k)
+				mv, mok := model[k]
+				if gok != mok || (gok && gv != mv) {
+					t.Fatalf("Get mismatch at %d", k)
+				}
+			case 2:
+				_, dok := l.Delete(k)
+				_, mok := model[k]
+				if dok != mok {
+					t.Fatalf("Delete mismatch at %d", k)
+				}
+				delete(model, k)
+			}
+		}
+		if n, ok := l.CheckInvariants(); !ok || n != len(model) {
+			t.Fatalf("invariants: n=%d ok=%v want %d", n, ok, len(model))
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package skiplist
+
+import "skipqueue/internal/xrand"
+
+// This file implements the extended skiplist operations of Pugh's "A Skip
+// List Cookbook" (UMD CS-TR-2286.1), which the paper's footnote 1 names as
+// operations addable to skiplist-based priority queues: searching for the
+// k-th item, merging, and splitting. They require per-link width counters,
+// whose maintenance is not part of the concurrent locking protocol, so the
+// indexed list is a sequential structure: use it for single-owner workloads
+// (or behind external synchronization) where order statistics are needed.
+
+// ilink is a forward pointer plus the number of bottom-level nodes it skips.
+type ilink[K ordered, V any] struct {
+	next  *inode[K, V]
+	width int // bottom-level distance to next (>= 1), 0 for nil next
+}
+
+type inode[K ordered, V any] struct {
+	key   K
+	value V
+	links []ilink[K, V]
+}
+
+// IndexedList is a sequential skiplist with order statistics: every
+// operation of List plus positional access (At), rank queries (Rank),
+// k-smallest deletion, Merge and SplitAt — Pugh's cookbook set. Not safe for
+// concurrent use.
+type IndexedList[K ordered, V any] struct {
+	maxLevel int
+	p        float64
+	rng      *xrand.Rand
+	head     *inode[K, V] // sentinel; links[i].next == nil terminates level i
+	size     int
+}
+
+// NewIndexed returns an empty indexed skiplist.
+func NewIndexed[K ordered, V any](opts ...Option) *IndexedList[K, V] {
+	o := options{maxLevel: DefaultMaxLevel, p: DefaultP}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.maxLevel <= 0 {
+		o.maxLevel = DefaultMaxLevel
+	}
+	if o.p <= 0 || o.p >= 1 {
+		o.p = DefaultP
+	}
+	l := &IndexedList[K, V]{maxLevel: o.maxLevel, p: o.p, rng: xrand.NewRand(o.seed)}
+	var zero K
+	l.head = &inode[K, V]{key: zero, links: make([]ilink[K, V], o.maxLevel)}
+	return l
+}
+
+// Len returns the number of elements.
+func (l *IndexedList[K, V]) Len() int { return l.size }
+
+// Set inserts key/value or updates an existing key in place. It reports
+// whether a new node was inserted.
+func (l *IndexedList[K, V]) Set(key K, value V) bool {
+	// preds[i]: last node at level i with key < key; predPos[i]: its
+	// bottom-level index (head = 0).
+	preds := make([]*inode[K, V], l.maxLevel)
+	predPos := make([]int, l.maxLevel)
+	n := l.head
+	pos := 0
+	for i := l.maxLevel - 1; i >= 0; i-- {
+		for n.links[i].next != nil && n.links[i].next.key < key {
+			pos += n.links[i].width
+			n = n.links[i].next
+		}
+		preds[i] = n
+		predPos[i] = pos
+	}
+	if nx := n.links[0].next; nx != nil && nx.key == key {
+		nx.value = value
+		return false
+	}
+
+	level := l.rng.GeometricLevel(l.p, l.maxLevel)
+	nn := &inode[K, V]{key: key, value: value, links: make([]ilink[K, V], level)}
+	insertPos := pos + 1 // bottom-level index of the new node
+	for i := 0; i < level; i++ {
+		p := preds[i]
+		nn.links[i].next = p.links[i].next
+		if nn.links[i].next != nil {
+			// Old span from pred covered (predPos[i] -> old next); the new
+			// node splits it at insertPos.
+			nn.links[i].width = predPos[i] + p.links[i].width + 1 - insertPos
+		}
+		p.links[i].next = nn
+		p.links[i].width = insertPos - predPos[i]
+	}
+	// Levels above the new node just got one more element under them.
+	for i := level; i < l.maxLevel; i++ {
+		if preds[i].links[i].next != nil {
+			preds[i].links[i].width++
+		}
+	}
+	l.size++
+	return true
+}
+
+// Get returns the value at key.
+func (l *IndexedList[K, V]) Get(key K) (V, bool) {
+	var zero V
+	n := l.head
+	for i := l.maxLevel - 1; i >= 0; i-- {
+		for n.links[i].next != nil && n.links[i].next.key < key {
+			n = n.links[i].next
+		}
+	}
+	if nx := n.links[0].next; nx != nil && nx.key == key {
+		return nx.value, true
+	}
+	return zero, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *IndexedList[K, V]) Delete(key K) (V, bool) {
+	var zero V
+	preds := make([]*inode[K, V], l.maxLevel)
+	n := l.head
+	for i := l.maxLevel - 1; i >= 0; i-- {
+		for n.links[i].next != nil && n.links[i].next.key < key {
+			n = n.links[i].next
+		}
+		preds[i] = n
+	}
+	victim := n.links[0].next
+	if victim == nil || victim.key != key {
+		return zero, false
+	}
+	l.unlink(preds, victim)
+	return victim.value, true
+}
+
+// unlink removes victim given its predecessor array.
+func (l *IndexedList[K, V]) unlink(preds []*inode[K, V], victim *inode[K, V]) {
+	for i := 0; i < l.maxLevel; i++ {
+		p := preds[i]
+		if i < len(victim.links) {
+			p.links[i].next = victim.links[i].next
+			if p.links[i].next != nil {
+				p.links[i].width += victim.links[i].width - 1
+			} else {
+				p.links[i].width = 0
+			}
+		} else if p.links[i].next != nil {
+			p.links[i].width--
+		}
+	}
+	l.size--
+}
+
+// At returns the i-th smallest element (0-based) in O(log n).
+func (l *IndexedList[K, V]) At(i int) (K, V, bool) {
+	var zk K
+	var zv V
+	if i < 0 || i >= l.size {
+		return zk, zv, false
+	}
+	target := i + 1 // head is position 0
+	n := l.head
+	pos := 0
+	for lev := l.maxLevel - 1; lev >= 0; lev-- {
+		for n.links[lev].next != nil && pos+n.links[lev].width <= target {
+			pos += n.links[lev].width
+			n = n.links[lev].next
+		}
+	}
+	if pos != target {
+		return zk, zv, false // unreachable if widths are consistent
+	}
+	return n.key, n.value, true
+}
+
+// Rank returns the number of elements with keys strictly smaller than key
+// (equivalently: the position key would occupy), in O(log n).
+func (l *IndexedList[K, V]) Rank(key K) int {
+	n := l.head
+	pos := 0
+	for i := l.maxLevel - 1; i >= 0; i-- {
+		for n.links[i].next != nil && n.links[i].next.key < key {
+			pos += n.links[i].width
+			n = n.links[i].next
+		}
+	}
+	return pos
+}
+
+// DeleteMin removes and returns the smallest element in O(log n) expected
+// (O(1) to find, O(log n) to unlink).
+func (l *IndexedList[K, V]) DeleteMin() (K, V, bool) {
+	var zk K
+	var zv V
+	victim := l.head.links[0].next
+	if victim == nil {
+		return zk, zv, false
+	}
+	preds := make([]*inode[K, V], l.maxLevel)
+	for i := range preds {
+		preds[i] = l.head
+	}
+	l.unlink(preds, victim)
+	return victim.key, victim.value, true
+}
+
+// Min returns the smallest element without removing it.
+func (l *IndexedList[K, V]) Min() (K, V, bool) {
+	var zk K
+	var zv V
+	if n := l.head.links[0].next; n != nil {
+		return n.key, n.value, true
+	}
+	return zk, zv, false
+}
+
+// Range calls fn in ascending key order until it returns false.
+func (l *IndexedList[K, V]) Range(fn func(K, V) bool) {
+	for n := l.head.links[0].next; n != nil; n = n.links[0].next {
+		if !fn(n.key, n.value) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys in ascending order.
+func (l *IndexedList[K, V]) Keys() []K {
+	out := make([]K, 0, l.size)
+	l.Range(func(k K, _ V) bool { out = append(out, k); return true })
+	return out
+}
+
+// Merge moves every element of other into l (other is emptied). Keys present
+// in both keep l's value. The cookbook merge walks both lists once; this
+// implementation reuses the insertion path per element, which is O(m log n)
+// — asymptotically the cookbook bound for m << n and simpler to verify.
+func (l *IndexedList[K, V]) Merge(other *IndexedList[K, V]) {
+	for {
+		k, v, ok := other.DeleteMin()
+		if !ok {
+			return
+		}
+		if _, exists := l.Get(k); !exists {
+			l.Set(k, v)
+		}
+	}
+}
+
+// SplitAt removes the elements with positions >= i and returns them as a new
+// list (so l keeps the i smallest elements).
+func (l *IndexedList[K, V]) SplitAt(i int) *IndexedList[K, V] {
+	out := NewIndexed[K, V](WithMaxLevel(l.maxLevel), WithP(l.p))
+	if i < 0 {
+		i = 0
+	}
+	for l.size > i {
+		// Repeatedly move the element at position i: always the smallest of
+		// the suffix, so out receives ascending keys (cheap inserts).
+		k, v, ok := l.At(i)
+		if !ok {
+			break
+		}
+		l.Delete(k)
+		out.Set(k, v)
+	}
+	return out
+}
+
+// CheckInvariants verifies key order and width consistency at every level.
+func (l *IndexedList[K, V]) CheckInvariants() bool {
+	// positions: map node -> bottom index.
+	pos := map[*inode[K, V]]int{l.head: 0}
+	i := 0
+	for n := l.head.links[0].next; n != nil; n = n.links[0].next {
+		i++
+		pos[n] = i
+		if n.links[0].next != nil && !(n.key < n.links[0].next.key) {
+			return false
+		}
+	}
+	if i != l.size {
+		return false
+	}
+	for lev := 0; lev < l.maxLevel; lev++ {
+		for n := l.head; n != nil; n = n.links[lev].next {
+			if len(n.links) <= lev {
+				return false
+			}
+			nx := n.links[lev].next
+			if nx == nil {
+				if n.links[lev].width != 0 {
+					return false
+				}
+				break
+			}
+			if n.links[lev].width != pos[nx]-pos[n] {
+				return false
+			}
+		}
+	}
+	return true
+}

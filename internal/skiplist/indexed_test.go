@@ -1,0 +1,239 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexedEmpty(t *testing.T) {
+	l := NewIndexed[int, string]()
+	if _, ok := l.Get(1); ok {
+		t.Fatal("Get on empty")
+	}
+	if _, _, ok := l.At(0); ok {
+		t.Fatal("At on empty")
+	}
+	if _, _, ok := l.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, _, ok := l.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty")
+	}
+	if l.Rank(5) != 0 {
+		t.Fatal("Rank on empty")
+	}
+	if !l.CheckInvariants() {
+		t.Fatal("invariants on empty")
+	}
+}
+
+func TestIndexedSetGetDelete(t *testing.T) {
+	l := NewIndexed[int, int](WithSeed(3))
+	for _, k := range []int{5, 2, 8, 1, 9, 3} {
+		if !l.Set(k, k*10) {
+			t.Fatalf("Set(%d) reported update", k)
+		}
+	}
+	if l.Set(5, 555) {
+		t.Fatal("re-Set reported insert")
+	}
+	if v, ok := l.Get(5); !ok || v != 555 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if !l.CheckInvariants() {
+		t.Fatal("invariants after sets")
+	}
+	if v, ok := l.Delete(2); !ok || v != 20 {
+		t.Fatalf("Delete(2) = %d,%v", v, ok)
+	}
+	if _, ok := l.Delete(2); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if !l.CheckInvariants() {
+		t.Fatal("invariants after delete")
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestIndexedAtAndRank(t *testing.T) {
+	l := NewIndexed[int, int](WithSeed(7))
+	keys := []int{10, 20, 30, 40, 50}
+	for _, k := range keys {
+		l.Set(k, k)
+	}
+	for i, want := range keys {
+		k, v, ok := l.At(i)
+		if !ok || k != want || v != want {
+			t.Fatalf("At(%d) = %d,%d,%v want %d", i, k, v, ok, want)
+		}
+	}
+	if _, _, ok := l.At(5); ok {
+		t.Fatal("At(len) returned ok")
+	}
+	if _, _, ok := l.At(-1); ok {
+		t.Fatal("At(-1) returned ok")
+	}
+	// Rank: number of strictly smaller keys.
+	cases := map[int]int{5: 0, 10: 0, 15: 1, 30: 2, 55: 5}
+	for key, want := range cases {
+		if got := l.Rank(key); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestIndexedPropertyAgainstSortedSlice(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		l := NewIndexed[int, int](WithSeed(11))
+		model := map[int]int{}
+		for step, o := range ops {
+			k := int(o.Key)
+			switch o.Kind % 4 {
+			case 0:
+				l.Set(k, step)
+				model[k] = step
+			case 1:
+				gv, gok := l.Get(k)
+				mv, mok := model[k]
+				if gok != mok || (gok && gv != mv) {
+					return false
+				}
+			case 2:
+				dv, dok := l.Delete(k)
+				mv, mok := model[k]
+				if dok != mok || (dok && dv != mv) {
+					return false
+				}
+				delete(model, k)
+			case 3:
+				// Order-statistics check at a pseudo-random index.
+				if len(model) == 0 {
+					continue
+				}
+				sorted := make([]int, 0, len(model))
+				for mk := range model {
+					sorted = append(sorted, mk)
+				}
+				sort.Ints(sorted)
+				i := step % len(sorted)
+				ak, av, ok := l.At(i)
+				if !ok || ak != sorted[i] || av != model[sorted[i]] {
+					return false
+				}
+				if l.Rank(sorted[i]) != i {
+					return false
+				}
+			}
+			if !l.CheckInvariants() {
+				return false
+			}
+		}
+		return l.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedDeleteMinDrains(t *testing.T) {
+	l := NewIndexed[int, int](WithSeed(5))
+	rng := rand.New(rand.NewSource(8))
+	perm := rng.Perm(500)
+	for _, k := range perm {
+		l.Set(k, k)
+	}
+	for i := 0; i < 500; i++ {
+		k, _, ok := l.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("DeleteMin #%d = %d,%v", i, k, ok)
+		}
+		if i%50 == 0 && !l.CheckInvariants() {
+			t.Fatalf("invariants broken after %d deletions", i+1)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestIndexedMerge(t *testing.T) {
+	a := NewIndexed[int, string](WithSeed(1))
+	b := NewIndexed[int, string](WithSeed(2))
+	a.Set(1, "a1")
+	a.Set(3, "a3")
+	a.Set(5, "a5")
+	b.Set(2, "b2")
+	b.Set(3, "b3") // collision: a's value wins
+	b.Set(6, "b6")
+	a.Merge(b)
+	if b.Len() != 0 {
+		t.Fatalf("source list not emptied: %d", b.Len())
+	}
+	if a.Len() != 5 {
+		t.Fatalf("merged Len = %d", a.Len())
+	}
+	if v, _ := a.Get(3); v != "a3" {
+		t.Fatalf("collision value = %q, want a3", v)
+	}
+	want := []int{1, 2, 3, 5, 6}
+	got := a.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged keys = %v", got)
+		}
+	}
+	if !a.CheckInvariants() {
+		t.Fatal("invariants after merge")
+	}
+}
+
+func TestIndexedSplitAt(t *testing.T) {
+	l := NewIndexed[int, int](WithSeed(9))
+	for i := 0; i < 100; i++ {
+		l.Set(i, i)
+	}
+	hi := l.SplitAt(60)
+	if l.Len() != 60 || hi.Len() != 40 {
+		t.Fatalf("split sizes: %d / %d", l.Len(), hi.Len())
+	}
+	if k, _, _ := l.At(59); k != 59 {
+		t.Fatalf("low half ends at %d", k)
+	}
+	if k, _, _ := hi.At(0); k != 60 {
+		t.Fatalf("high half starts at %d", k)
+	}
+	if !l.CheckInvariants() || !hi.CheckInvariants() {
+		t.Fatal("invariants after split")
+	}
+	// Degenerate splits.
+	all := NewIndexed[int, int]()
+	all.Set(1, 1)
+	empty := all.SplitAt(5)
+	if empty.Len() != 0 || all.Len() != 1 {
+		t.Fatal("split beyond length should move nothing")
+	}
+	rest := all.SplitAt(0)
+	if rest.Len() != 1 || all.Len() != 0 {
+		t.Fatal("split at zero should move everything")
+	}
+}
+
+func TestIndexedRangeEarlyStop(t *testing.T) {
+	l := NewIndexed[int, int]()
+	for i := 0; i < 20; i++ {
+		l.Set(i, i)
+	}
+	count := 0
+	l.Range(func(int, int) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("Range visited %d", count)
+	}
+}

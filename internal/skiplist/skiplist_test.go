@@ -1,0 +1,230 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New[int, string]()
+	if _, ok := l.Get(1); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if _, ok := l.Delete(1); ok {
+		t.Fatal("Delete on empty list returned ok")
+	}
+	if _, _, ok := l.Min(); ok {
+		t.Fatal("Min on empty list returned ok")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	l := New[int, string]()
+	if !l.Set(5, "five") {
+		t.Fatal("first Set reported update")
+	}
+	if l.Set(5, "FIVE") {
+		t.Fatal("second Set reported insert")
+	}
+	v, ok := l.Get(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	v, ok = l.Delete(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Delete = %q,%v", v, ok)
+	}
+	if _, ok := l.Get(5); ok {
+		t.Fatal("Get after Delete returned ok")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New[int, int](WithSeed(3))
+	rng := rand.New(rand.NewSource(1))
+	keys := rng.Perm(1000)
+	for _, k := range keys {
+		l.Set(k, k*2)
+	}
+	got := l.Keys()
+	if len(got) != 1000 || !sort.IntsAreSorted(got) {
+		t.Fatalf("Keys: len=%d sorted=%v", len(got), sort.IntsAreSorted(got))
+	}
+	if n, ok := l.CheckInvariants(); !ok || n != 1000 {
+		t.Fatalf("invariants: n=%d ok=%v", n, ok)
+	}
+	k, v, ok := l.Min()
+	if !ok || k != 0 || v != 0 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	l := New[int, int]()
+	for i := 0; i < 100; i++ {
+		l.Set(i, i)
+	}
+	count := 0
+	l.Range(func(k, v int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("Range visited %d, want 10", count)
+	}
+}
+
+func TestMaxLevelOption(t *testing.T) {
+	l := New[int, int](WithMaxLevel(2), WithP(0.9), WithSeed(7))
+	for i := 0; i < 300; i++ {
+		l.Set(i, i)
+	}
+	for n := l.head.links[0].next.Load(); n != l.tail; n = n.links[0].next.Load() {
+		if n.level() > 2 {
+			t.Fatalf("node level %d exceeds max 2", n.level())
+		}
+	}
+	if n, ok := l.CheckInvariants(); !ok || n != 300 {
+		t.Fatalf("invariants: n=%d ok=%v", n, ok)
+	}
+}
+
+func TestPropertyAgainstMap(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		l := New[int, int](WithSeed(11))
+		m := map[int]int{}
+		for i, o := range ops {
+			k := int(o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				l.Set(k, i)
+				m[k] = i
+			case 1:
+				gv, gok := l.Get(k)
+				mv, mok := m[k]
+				if gok != mok || (gok && gv != mv) {
+					return false
+				}
+			case 2:
+				dv, dok := l.Delete(k)
+				mv, mok := m[k]
+				if dok != mok || (dok && dv != mv) {
+					return false
+				}
+				delete(m, k)
+			}
+		}
+		if l.Len() != len(m) {
+			return false
+		}
+		_, ok := l.CheckInvariants()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSetGet(t *testing.T) {
+	l := New[int, int](WithSeed(5))
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := i*workers + w
+				l.Set(k, k)
+				if v, ok := l.Get(k); !ok || v != k {
+					t.Errorf("Get(%d) = %d,%v just after Set", k, v, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), workers*per)
+	}
+	if _, ok := l.CheckInvariants(); !ok {
+		t.Fatal("invariants violated")
+	}
+}
+
+func TestConcurrentDeleteExactlyOneWinner(t *testing.T) {
+	l := New[int, int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Set(i, i)
+	}
+	var wg sync.WaitGroup
+	wins := make([]int64, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, ok := l.Delete(i); ok {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, w := range wins {
+		total += w
+	}
+	if total != n {
+		t.Fatalf("total delete wins = %d, want %d", total, n)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", l.Len())
+	}
+}
+
+func TestConcurrentMixedChurn(t *testing.T) {
+	l := New[int, int](WithSeed(99))
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := rng.Intn(512)
+				switch rng.Intn(3) {
+				case 0:
+					l.Set(k, k)
+				case 1:
+					l.Get(k)
+				case 2:
+					l.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ok := l.CheckInvariants(); !ok {
+		t.Fatal("invariants violated after churn")
+	}
+	keys := l.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("keys not sorted after churn")
+	}
+}

@@ -1,0 +1,67 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMonotone(t *testing.T) {
+	var c Clock
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("Now() = %d not after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestPeekDoesNotAdvance(t *testing.T) {
+	var c Clock
+	c.Now()
+	a := c.Peek()
+	b := c.Peek()
+	if a != b {
+		t.Fatalf("Peek advanced the clock: %d then %d", a, b)
+	}
+}
+
+func TestConcurrentUniqueness(t *testing.T) {
+	var c Clock
+	const workers = 8
+	const per = 10000
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				results[w] = append(results[w], c.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*per)
+	for _, res := range results {
+		for i, v := range res {
+			if seen[v] {
+				t.Fatalf("timestamp %d issued twice", v)
+			}
+			seen[v] = true
+			if i > 0 && res[i] <= res[i-1] {
+				t.Fatal("per-goroutine timestamps not increasing")
+			}
+		}
+	}
+}
+
+func TestMaxTimeIsMax(t *testing.T) {
+	var c Clock
+	for i := 0; i < 100; i++ {
+		if c.Now() >= MaxTime {
+			t.Fatal("clock reached MaxTime")
+		}
+	}
+}

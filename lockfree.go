@@ -1,0 +1,64 @@
+package skipqueue
+
+import (
+	"skipqueue/internal/core"
+	"skipqueue/internal/lockfree"
+)
+
+// LockFree is the lock-free evolution of the SkipQueue: the same
+// claim-then-unlink algorithm built on a CAS-based lock-free skiplist
+// (markable references with helping), the design the paper's line of work
+// led to (Sundell/Tsigas; Herlihy & Shavit's textbook queue; the JDK
+// lineage). No operation ever blocks another: a preempted goroutine cannot
+// stall the queue the way a preempted lock holder can.
+//
+// Semantics match Queue, including the strict/relaxed timestamp modes, with
+// one difference: Insert of an existing unclaimed key leaves the old value
+// in place (it reports false) rather than replacing it. Construct with
+// NewLockFree. All methods are safe for concurrent use.
+type LockFree[K Ordered, V any] struct {
+	q *lockfree.Queue[K, V]
+}
+
+// NewLockFree returns an empty lock-free SkipQueue. It accepts the same
+// options as New (WithRelaxed, WithMaxLevel, WithP, WithSeed).
+func NewLockFree[K Ordered, V any](opts ...Option) *LockFree[K, V] {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &LockFree[K, V]{q: lockfree.New[K, V](lockfree.Config{
+		MaxLevel: cfg.MaxLevel,
+		P:        cfg.P,
+		Relaxed:  cfg.Relaxed,
+		Seed:     cfg.Seed,
+	})}
+}
+
+// Insert adds key with value. It reports false when an unclaimed equal key
+// already exists (the existing element stays).
+func (q *LockFree[K, V]) Insert(key K, value V) bool { return q.q.Insert(key, value) }
+
+// DeleteMin removes and returns the minimum element (strict ordering per
+// Definition 1 unless built with WithRelaxed).
+func (q *LockFree[K, V]) DeleteMin() (key K, value V, ok bool) { return q.q.DeleteMin() }
+
+// PeekMin returns the current minimum without removing it (advisory).
+func (q *LockFree[K, V]) PeekMin() (key K, value V, ok bool) { return q.q.PeekMin() }
+
+// Len returns the number of elements (snapshot).
+func (q *LockFree[K, V]) Len() int { return q.q.Len() }
+
+// Relaxed reports whether the queue was built with WithRelaxed.
+func (q *LockFree[K, V]) Relaxed() bool { return q.q.Relaxed() }
+
+// Keys returns the keys of unclaimed elements in ascending order (exact
+// when quiescent).
+func (q *LockFree[K, V]) Keys() []K { return q.q.CollectKeys(nil) }
+
+// LockFreeStats re-exports the lock-free queue's counters (CAS retries,
+// helping unlinks).
+type LockFreeStats = lockfree.Stats
+
+// Stats returns a snapshot of the operation counters.
+func (q *LockFree[K, V]) Stats() LockFreeStats { return q.q.Stats() }

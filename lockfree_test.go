@@ -1,0 +1,127 @@
+package skipqueue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestLockFreeBasics(t *testing.T) {
+	q := NewLockFree[int, string](WithSeed(1))
+	if q.Relaxed() {
+		t.Fatal("default queue reported relaxed")
+	}
+	if !q.Insert(2, "two") || !q.Insert(1, "one") {
+		t.Fatal("fresh inserts failed")
+	}
+	if q.Insert(2, "TWO") {
+		t.Fatal("duplicate insert reported fresh")
+	}
+	if k, v, ok := q.PeekMin(); !ok || k != 1 || v != "one" {
+		t.Fatalf("PeekMin = %d,%q,%v", k, v, ok)
+	}
+	k, v, ok := q.DeleteMin()
+	if !ok || k != 1 || v != "one" {
+		t.Fatalf("DeleteMin = %d,%q,%v", k, v, ok)
+	}
+	// The existing value survived the duplicate insert.
+	_, v, _ = q.DeleteMin()
+	if v != "two" {
+		t.Fatalf("value = %q, want two (keep-existing semantics)", v)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestLockFreeOptions(t *testing.T) {
+	q := NewLockFree[int64, int64](WithRelaxed(), WithMaxLevel(8), WithP(0.25), WithSeed(2))
+	if !q.Relaxed() {
+		t.Fatal("WithRelaxed not applied")
+	}
+	for i := int64(0); i < 200; i++ {
+		q.Insert(i, i)
+	}
+	keys := q.Keys()
+	if len(keys) != 200 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i := int64(0); i < 200; i++ {
+		if k, _, ok := q.DeleteMin(); !ok || k != i {
+			t.Fatalf("DeleteMin = %d, want %d", k, i)
+		}
+	}
+}
+
+func TestLockFreeConcurrentAgainstLockBased(t *testing.T) {
+	// Both queues process the same concurrent workload; afterwards their
+	// conservation properties and final contents (as multisets of keys)
+	// must agree with what went in.
+	run := func(insert func(int64), deleteMin func() (int64, bool), remaining func() []int64) {
+		var wg sync.WaitGroup
+		var deleted sync.Map
+		inserted := make([][]int64, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 2000; i++ {
+					if rng.Intn(2) == 0 {
+						k := int64(w)*100_000 + int64(i)
+						insert(k)
+						inserted[w] = append(inserted[w], k)
+					} else if k, ok := deleteMin(); ok {
+						if _, dup := deleted.LoadOrStore(k, true); dup {
+							t.Errorf("key %d deleted twice", k)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		expect := map[int64]bool{}
+		for _, ins := range inserted {
+			for _, k := range ins {
+				expect[k] = true
+			}
+		}
+		deleted.Range(func(k, _ any) bool {
+			if !expect[k.(int64)] {
+				t.Errorf("deleted unknown key %d", k)
+			}
+			delete(expect, k.(int64))
+			return true
+		})
+		for _, k := range remaining() {
+			if !expect[k] {
+				t.Errorf("unexpected remaining key %d", k)
+			}
+			delete(expect, k)
+		}
+		if len(expect) != 0 {
+			t.Errorf("%d keys lost", len(expect))
+		}
+	}
+
+	lb := New[int64, int64](WithSeed(5))
+	run(func(k int64) { lb.Insert(k, k) },
+		func() (int64, bool) { k, _, ok := lb.DeleteMin(); return k, ok },
+		lb.Keys)
+
+	lf := NewLockFree[int64, int64](WithSeed(5))
+	run(func(k int64) { lf.Insert(k, k) },
+		func() (int64, bool) { k, _, ok := lf.DeleteMin(); return k, ok },
+		lf.Keys)
+}
+
+func TestLockFreeStats(t *testing.T) {
+	q := NewLockFree[int, int]()
+	q.Insert(1, 1)
+	q.DeleteMin()
+	q.DeleteMin()
+	st := q.Stats()
+	if st.Inserts != 1 || st.DeleteMins != 1 || st.Empties != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

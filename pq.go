@@ -1,0 +1,78 @@
+package skipqueue
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"skipqueue/internal/core"
+)
+
+// PQ is a concurrent priority queue with multiset semantics: any number of
+// elements may share a priority, and equal-priority elements are delivered
+// in insertion order (FIFO within a priority). It is the natural shape for
+// the paper's motivating applications — discrete-event simulation and
+// branch-and-bound — where many pending events or subproblems carry the same
+// priority.
+//
+// PQ is a thin layer over Queue: each pushed element gets a unique composite
+// key of (priority, global sequence number), encoded so that composite keys
+// order first by priority, then by arrival.
+type PQ[V any] struct {
+	q   *core.Queue[string, V]
+	seq atomic.Uint64
+}
+
+// NewPQ returns an empty multiset priority queue.
+func NewPQ[V any](opts ...Option) *PQ[V] {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &PQ[V]{q: core.New[string, V](cfg)}
+}
+
+// pqKey encodes (priority, seq) as a 16-byte string that sorts
+// lexicographically in (priority, seq) order. The priority's sign bit is
+// flipped so negative priorities sort before positive ones.
+func pqKey(priority int64, seq uint64) string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(priority)^(1<<63))
+	binary.BigEndian.PutUint64(b[8:], seq)
+	return string(b[:])
+}
+
+// pqPriority decodes the priority from a composite key.
+func pqPriority(key string) int64 {
+	return int64(binary.BigEndian.Uint64([]byte(key[:8])) ^ (1 << 63))
+}
+
+// Push adds value with the given priority. Duplicate priorities are fine.
+func (pq *PQ[V]) Push(priority int64, value V) {
+	pq.q.Insert(pqKey(priority, pq.seq.Add(1)), value)
+}
+
+// Pop removes and returns an element with the minimum priority. Among equal
+// priorities, the earliest pushed wins. ok is false when the queue is empty.
+func (pq *PQ[V]) Pop() (priority int64, value V, ok bool) {
+	k, v, ok := pq.q.DeleteMin()
+	if !ok {
+		return 0, value, false
+	}
+	return pqPriority(k), v, true
+}
+
+// Peek returns the minimum-priority element without removing it (advisory
+// under concurrency).
+func (pq *PQ[V]) Peek() (priority int64, value V, ok bool) {
+	k, v, ok := pq.q.PeekMin()
+	if !ok {
+		return 0, value, false
+	}
+	return pqPriority(k), v, true
+}
+
+// Len returns the number of elements (exact when quiescent).
+func (pq *PQ[V]) Len() int { return pq.q.Len() }
+
+// Stats returns the underlying queue's operation counters.
+func (pq *PQ[V]) Stats() Stats { return pq.q.Stats() }

@@ -1,0 +1,113 @@
+// Package skipqueue is a scalable concurrent priority queue library based on
+// the SkipQueue of Itay Lotan and Nir Shavit ("Skiplist-Based Concurrent
+// Priority Queues", IPPS 2000).
+//
+// The central type is Queue: a priority queue built on Pugh's lock-based
+// concurrent skiplist, in which all locking is distributed — no root lock,
+// no global counter — so Insert and DeleteMin throughput scales with the
+// number of concurrent goroutines far beyond what heap-based designs
+// sustain. DeleteMin claims the first unmarked bottom-level node with an
+// atomic swap on its deleted flag and then physically unlinks it with the
+// ordinary skiplist deletion.
+//
+// Two orderings are offered:
+//
+//   - the default, strict queue carries the paper's timestamp mechanism:
+//     every DeleteMin returns the minimum of all elements whose insertions
+//     completed before the call began (minus previously deleted ones);
+//   - the relaxed queue (WithRelaxed) drops the timestamps; a DeleteMin may
+//     then return an element inserted concurrently with it when that
+//     element sorts before the strict minimum. Relaxed deletions are faster
+//     under heavy contention (Section 5.4 of the paper).
+//
+// Queue has map semantics on keys (inserting an existing key updates its
+// value); PQ layers multiset semantics on top for workloads with duplicate
+// priorities, such as discrete-event simulation. The paper's baselines — the
+// Hunt et al. concurrent heap and a combining-funnel FunnelList — are
+// exported as Heap and FunnelList for comparison and benchmarking.
+package skipqueue
+
+import (
+	"skipqueue/internal/core"
+)
+
+// Ordered is the key constraint: any type totally ordered by <.
+type Ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}
+
+// Queue is a concurrent priority queue with unique keys. All methods are
+// safe for concurrent use by any number of goroutines. Construct with New.
+type Queue[K Ordered, V any] struct {
+	q *core.Queue[K, V]
+}
+
+// Option configures a Queue or PQ.
+type Option func(*core.Config)
+
+// WithRelaxed disables the timestamp ordering mechanism. DeleteMin becomes
+// faster under contention but may return a concurrently inserted element
+// that sorts before the strict minimum.
+func WithRelaxed() Option { return func(c *core.Config) { c.Relaxed = true } }
+
+// WithMaxLevel bounds skiplist tower heights. The default (24) is ample for
+// tens of millions of elements; lower values save a little memory for small
+// queues.
+func WithMaxLevel(n int) Option { return func(c *core.Config) { c.MaxLevel = n } }
+
+// WithP sets the geometric tower-growth probability (default 0.5).
+func WithP(p float64) Option { return func(c *core.Config) { c.P = p } }
+
+// WithSeed seeds tower-height randomness, making single-threaded runs
+// reproducible.
+func WithSeed(s uint64) Option { return func(c *core.Config) { c.Seed = s } }
+
+// Stats are the queue's monotone operation counters.
+type Stats = core.Stats
+
+// New returns an empty queue.
+func New[K Ordered, V any](opts ...Option) *Queue[K, V] {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Queue[K, V]{q: core.New[K, V](cfg)}
+}
+
+// Insert adds key with value. If key is already present its value is
+// replaced and Insert reports false; inserting a fresh key reports true.
+func (q *Queue[K, V]) Insert(key K, value V) bool {
+	return q.q.Insert(key, value) == core.Inserted
+}
+
+// DeleteMin removes and returns the minimum element. ok is false when the
+// queue holds no eligible element. On the default strict queue the result
+// honors the paper's Definition 1: it is the minimum over all elements whose
+// insertions completed before this call began, minus elements already
+// deleted.
+func (q *Queue[K, V]) DeleteMin() (key K, value V, ok bool) {
+	return q.q.DeleteMin()
+}
+
+// PeekMin returns the current minimum without removing it. The answer is
+// advisory under concurrency: another goroutine may claim the element before
+// the caller acts on it.
+func (q *Queue[K, V]) PeekMin() (key K, value V, ok bool) {
+	return q.q.PeekMin()
+}
+
+// Len returns the number of elements (exact when quiescent).
+func (q *Queue[K, V]) Len() int { return q.q.Len() }
+
+// Relaxed reports whether the queue was built with WithRelaxed.
+func (q *Queue[K, V]) Relaxed() bool { return q.q.Relaxed() }
+
+// Stats returns a snapshot of the operation counters.
+func (q *Queue[K, V]) Stats() Stats { return q.q.Stats() }
+
+// Keys returns the keys of all unclaimed elements in ascending order.
+// Intended for tests and debugging of quiescent queues; under concurrency
+// the snapshot is best-effort.
+func (q *Queue[K, V]) Keys() []K { return q.q.CollectKeys(nil) }
