@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench experiments verify
+.PHONY: all build vet test race bench bench-smoke check experiments verify
 
 all: build test
 
@@ -8,11 +8,25 @@ build:
 	go build ./...
 	go vet ./...
 
+vet:
+	go vet ./...
+
 test:
 	go test ./...
 
 race:
 	go test -race ./...
+
+# One target that gates a change: vet, full tests, the race detector on the
+# concurrency-heavy packages, and a metrics-on benchmark smoke run.
+check: vet test
+	go test -race ./internal/obs/ ./internal/core/ ./internal/lockfree/
+	$(MAKE) bench-smoke
+
+# Short metrics-on pass over the native queues: exercises every probe site
+# and prints the snapshot tables.
+bench-smoke:
+	go run ./cmd/skipbench -metrics -metrics-duration 200ms
 
 short:
 	go test -short ./...

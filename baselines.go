@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"skipqueue/internal/cheap"
+	"skipqueue/internal/core"
 	"skipqueue/internal/funnel"
 	"skipqueue/internal/glheap"
 )
@@ -27,9 +28,23 @@ type Heap[K Ordered, V any] struct {
 
 // NewHeap returns an empty concurrent heap holding at most capacity
 // elements (rounded up to a full tree level; non-positive selects a default
-// of about one million).
-func NewHeap[K Ordered, V any](capacity int) *Heap[K, V] {
-	return &Heap[K, V]{h: cheap.New[K, V](capacity)}
+// of about one million). Of the options only WithMetrics applies; the
+// skiplist-shape options are ignored.
+func NewHeap[K Ordered, V any](capacity int, opts ...Option) *Heap[K, V] {
+	h := cheap.New[K, V](capacity)
+	if baselineMetrics(opts) {
+		h.EnableMetrics()
+	}
+	return &Heap[K, V]{h: h}
+}
+
+// baselineMetrics resolves the one option the baseline structures share.
+func baselineMetrics(opts []Option) bool {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Metrics
 }
 
 // Insert adds an element, or returns ErrFull.
@@ -55,6 +70,9 @@ type HeapStats = cheap.Stats
 // Stats returns a snapshot of the heap's operation counters.
 func (h *Heap[K, V]) Stats() HeapStats { return h.h.Stats() }
 
+// Snapshot reads the observability probes (zero-valued without WithMetrics).
+func (h *Heap[K, V]) Snapshot() Snapshot { return h.h.ObsSnapshot() }
+
 // GlobalLockHeap is the naive baseline: a sequential binary heap behind one
 // global mutex (multiset semantics). Every operation serializes; it exists
 // so benchmarks can show the gap that motivates both the Hunt heap's
@@ -64,9 +82,14 @@ type GlobalLockHeap[K Ordered, V any] struct {
 	h *glheap.Heap[K, V]
 }
 
-// NewGlobalLockHeap returns an empty single-lock heap.
-func NewGlobalLockHeap[K Ordered, V any]() *GlobalLockHeap[K, V] {
-	return &GlobalLockHeap[K, V]{h: glheap.New[K, V]()}
+// NewGlobalLockHeap returns an empty single-lock heap. Of the options only
+// WithMetrics applies.
+func NewGlobalLockHeap[K Ordered, V any](opts ...Option) *GlobalLockHeap[K, V] {
+	h := glheap.New[K, V]()
+	if baselineMetrics(opts) {
+		h.EnableMetrics()
+	}
+	return &GlobalLockHeap[K, V]{h: h}
 }
 
 // Insert adds an element.
@@ -81,6 +104,9 @@ func (g *GlobalLockHeap[K, V]) PeekMin() (key K, value V, ok bool) { return g.h.
 // Len returns the number of elements.
 func (g *GlobalLockHeap[K, V]) Len() int { return g.h.Len() }
 
+// Snapshot reads the observability probes (zero-valued without WithMetrics).
+func (g *GlobalLockHeap[K, V]) Snapshot() Snapshot { return g.h.ObsSnapshot() }
+
 // FunnelList is a sorted linked-list priority queue whose single lock is
 // shielded by a combining funnel (Shavit and Zemach). It is the fastest
 // structure at low concurrency on small queues and degrades linearly with
@@ -91,9 +117,12 @@ type FunnelList[K Ordered, V any] struct {
 	l *funnel.List[K, V]
 }
 
-// NewFunnelList returns an empty FunnelList.
-func NewFunnelList[K Ordered, V any]() *FunnelList[K, V] {
-	return &FunnelList[K, V]{l: funnel.New[K, V](funnel.Config{})}
+// NewFunnelList returns an empty FunnelList. Of the options only WithMetrics
+// applies.
+func NewFunnelList[K Ordered, V any](opts ...Option) *FunnelList[K, V] {
+	return &FunnelList[K, V]{l: funnel.New[K, V](funnel.Config{
+		Metrics: baselineMetrics(opts),
+	})}
 }
 
 // Insert adds an element (duplicate keys coexist).
@@ -110,3 +139,17 @@ type FunnelStats = funnel.Stats
 
 // Stats returns a snapshot of the funnel counters.
 func (f *FunnelList[K, V]) Stats() FunnelStats { return f.l.Stats() }
+
+// Snapshot reads the observability probes (zero-valued without WithMetrics).
+func (f *FunnelList[K, V]) Snapshot() Snapshot { return f.l.ObsSnapshot() }
+
+// Every queue family exposes its probes through the same interface.
+var (
+	_ Instrumented = (*Queue[int, int])(nil)
+	_ Instrumented = (*PQ[int])(nil)
+	_ Instrumented = (*LockFree[int, int])(nil)
+	_ Instrumented = (*Heap[int, int])(nil)
+	_ Instrumented = (*GlobalLockHeap[int, int])(nil)
+	_ Instrumented = (*FunnelList[int, int])(nil)
+	_ Instrumented = (*Map[int, int])(nil)
+)

@@ -1,0 +1,54 @@
+package skipqueue
+
+import (
+	"testing"
+
+	"skipqueue/internal/xrand"
+)
+
+// BenchmarkSkipQueue measures the observability layer's cost on the mixed
+// workload: the same queue and load with probes disabled (the default) and
+// enabled. The disabled case is the one that matters for the library's
+// baseline — every probe site must shrink to a nil check — and is recorded
+// against BENCH_baseline.json.
+func BenchmarkSkipQueue(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"MetricsOff", []Option{WithSeed(1)}},
+		{"MetricsOn", []Option{WithSeed(1), WithMetrics()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			q := New[int64, int64](mode.opts...)
+			for i := int64(0); i < 1000; i++ {
+				q.Insert(i*7919, i)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := xrand.NewRand(uint64(b.N))
+				for pb.Next() {
+					if r.Float64() < 0.5 {
+						q.Insert(r.Int63()%(1<<40), 0)
+					} else {
+						q.DeleteMin()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPQPop isolates the composite-key decode on the Pop path; the
+// decode must stay allocation-free (see TestPQKeyDecodeAllocFree).
+func BenchmarkPQPop(b *testing.B) {
+	pq := NewPQ[int64](WithSeed(1))
+	for i := 0; i < b.N; i++ {
+		pq.Push(int64(i%1024), int64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pq.Pop()
+	}
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"skipqueue"
 	"skipqueue/internal/hist"
+	"skipqueue/internal/obs"
 	"skipqueue/internal/xrand"
 )
 
@@ -71,22 +73,34 @@ type funnelQ struct {
 func (s funnelQ) insert(k int64)  { s.q.Insert(k, k) }
 func (s funnelQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
 
-func build(name string, capacity int) (queue, bool) {
+// build constructs a structure by name. The second result exposes the
+// structure's observability probes (zero-valued unless metrics is set).
+func build(name string, capacity int, metrics bool) (queue, skipqueue.Instrumented, bool) {
+	opts := []skipqueue.Option{skipqueue.WithSeed(1)}
+	if metrics {
+		opts = append(opts, skipqueue.WithMetrics())
+	}
 	switch name {
 	case "SkipQueue":
-		return skipQ{skipqueue.New[int64, int64](skipqueue.WithSeed(1))}, true
+		q := skipqueue.New[int64, int64](opts...)
+		return skipQ{q}, q, true
 	case "Relaxed":
-		return relaxedQ{skipqueue.New[int64, int64](skipqueue.WithSeed(1), skipqueue.WithRelaxed())}, true
+		q := skipqueue.New[int64, int64](append(opts, skipqueue.WithRelaxed())...)
+		return relaxedQ{q}, q, true
 	case "LockFree":
-		return lockFreeQ{skipqueue.NewLockFree[int64, int64](skipqueue.WithSeed(1))}, true
+		q := skipqueue.NewLockFree[int64, int64](opts...)
+		return lockFreeQ{q}, q, true
 	case "Heap":
-		return heapQ{skipqueue.NewHeap[int64, int64](capacity)}, true
+		q := skipqueue.NewHeap[int64, int64](capacity, opts...)
+		return heapQ{q}, q, true
 	case "FunnelList":
-		return funnelQ{skipqueue.NewFunnelList[int64, int64]()}, true
+		q := skipqueue.NewFunnelList[int64, int64](opts...)
+		return funnelQ{q}, q, true
 	case "GlobalLock":
-		return glQ{skipqueue.NewGlobalLockHeap[int64, int64]()}, true
+		q := skipqueue.NewGlobalLockHeap[int64, int64](opts...)
+		return glQ{q}, q, true
 	}
-	return nil, false
+	return nil, nil, false
 }
 
 func main() {
@@ -97,27 +111,49 @@ func main() {
 		ratio      = flag.Float64("ratio", 0.5, "insert ratio")
 		structures = flag.String("structures", "SkipQueue,Relaxed,LockFree,Heap,FunnelList,GlobalLock", "comma-separated structures")
 		seed       = flag.Uint64("seed", 1, "workload seed")
+		metrics    = flag.Bool("metrics", false, "enable the queues' internal probes and print a snapshot per structure")
+		metricsOut = flag.String("metrics-out", "", "write all snapshots to this file as JSON (implies -metrics)")
 	)
 	flag.Parse()
+	if *metricsOut != "" {
+		*metrics = true
+	}
 
 	names := strings.Split(*structures, ",")
-	fmt.Printf("workers=%d duration=%v initial=%d insert-ratio=%.2f\n\n",
-		*workers, *duration, *initial, *ratio)
+	fmt.Printf("workers=%d duration=%v initial=%d insert-ratio=%.2f metrics=%v\n\n",
+		*workers, *duration, *initial, *ratio, *metrics)
+	snapshots := map[string]skipqueue.Snapshot{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		q, ok := build(name, *initial+int(duration.Seconds()*5_000_000))
+		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *metrics)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nativebench: unknown structure %q\n", name)
 			os.Exit(2)
 		}
-		ins, del, ops := run(q, *workers, *duration, *initial, *ratio, *seed)
+		ins, del, ops := run(q, name, *workers, *duration, *initial, *ratio, *seed)
 		fmt.Printf("%-11s %10.0f ops/sec\n", name, float64(ops)/duration.Seconds())
 		fmt.Printf("  insert:    %s\n", ins.Summary())
 		fmt.Printf("  deletemin: %s\n", del.Summary())
+		if *metrics {
+			s := inst.Snapshot()
+			snapshots[name] = s
+			fmt.Println(s.Table())
+		}
+	}
+	if *metricsOut != "" {
+		data, err := json.MarshalIndent(snapshots, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nativebench: writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d snapshots to %s\n", len(snapshots), *metricsOut)
 	}
 }
 
-func run(q queue, workers int, d time.Duration, initial int, ratio float64, seed uint64) (ins, del *hist.H, ops uint64) {
+func run(q queue, name string, workers int, d time.Duration, initial int, ratio float64, seed uint64) (ins, del *hist.H, ops uint64) {
 	rng := xrand.NewRand(seed)
 	for i := 0; i < initial; i++ {
 		q.insert(rng.Int63() % (1 << 40))
@@ -133,17 +169,21 @@ func run(q queue, workers int, d time.Duration, initial int, ratio float64, seed
 			r := xrand.NewRand(seed + uint64(w)*0x9e3779b97f4a7c15)
 			localIns, localDel := new(hist.H), new(hist.H)
 			n := uint64(0)
-			for !stop.Load() {
-				start := time.Now()
-				if r.Float64() < ratio {
-					q.insert(r.Int63() % (1 << 40))
-					localIns.Observe(time.Since(start))
-				} else {
-					q.deleteMin()
-					localDel.Observe(time.Since(start))
+			// Label the whole worker loop so CPU profiles attribute samples
+			// to the structure under test (op=<name> in pprof output).
+			obs.Do(name, func() {
+				for !stop.Load() {
+					start := time.Now()
+					if r.Float64() < ratio {
+						q.insert(r.Int63() % (1 << 40))
+						localIns.Observe(time.Since(start))
+					} else {
+						q.deleteMin()
+						localDel.Observe(time.Since(start))
+					}
+					n++
 				}
-				n++
-			}
+			})
 			ins.Merge(localIns)
 			del.Merge(localDel)
 			total.Add(n)

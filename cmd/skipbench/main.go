@@ -33,8 +33,20 @@ func main() {
 		plot       = flag.Bool("plot", false, "render ASCII charts after each processor sweep")
 		summary    = flag.Bool("summary", true, "print headline ratios after each experiment")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		metrics    = flag.Bool("metrics", false, "run the native queues with probes on and print their snapshots")
+		metricsOut = flag.String("metrics-out", "", "write the -metrics snapshots to this file as JSON (implies -metrics)")
+		metricsDur = flag.Duration("metrics-duration", 500*time.Millisecond, "measurement window per structure for -metrics")
+		workers    = flag.Int("workers", 8, "worker goroutines for -metrics")
 	)
 	flag.Parse()
+
+	if *metricsOut != "" {
+		*metrics = true
+	}
+	if *metrics {
+		runMetrics(os.Stdout, *workers, *metricsDur, *seed, *metricsOut)
+		return
+	}
 
 	if *list {
 		for _, e := range harness.Experiments {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"skipqueue"
+	"skipqueue/internal/obs"
+	"skipqueue/internal/xrand"
+)
+
+// runMetrics drives the four native queue families through a short mixed
+// workload with the observability probes on and prints each family's
+// snapshot: per-operation latency histograms plus the contention counters
+// specific to its synchronization design (lock retries for the skiplist, CAS
+// retries and helping for the lock-free queue, bit-reversal lock chases for
+// the Hunt heap, combining depth for the funnel). Unlike the simulated
+// experiments above, this measures the real Go implementations on the host.
+func runMetrics(w *os.File, workers int, d time.Duration, seed uint64, outPath string) {
+	fmt.Fprintf(w, "# Observability: native queues under a mixed workload (workers=%d duration=%v)\n\n",
+		workers, d)
+
+	type target struct {
+		name   string
+		inst   skipqueue.Instrumented
+		insert func(int64)
+		del    func()
+	}
+	sq := skipqueue.New[int64, int64](skipqueue.WithSeed(seed), skipqueue.WithMetrics())
+	lf := skipqueue.NewLockFree[int64, int64](skipqueue.WithSeed(seed), skipqueue.WithMetrics())
+	hp := skipqueue.NewHeap[int64, int64](1<<22, skipqueue.WithMetrics())
+	fl := skipqueue.NewFunnelList[int64, int64](skipqueue.WithMetrics())
+	targets := []target{
+		{"SkipQueue", sq, func(k int64) { sq.Insert(k, k) }, func() { sq.DeleteMin() }},
+		{"LockFree", lf, func(k int64) { lf.Insert(k, k) }, func() { lf.DeleteMin() }},
+		{"Heap", hp, func(k int64) { _ = hp.Insert(k, k) }, func() { hp.DeleteMin() }},
+		{"FunnelList", fl, func(k int64) { fl.Insert(k, k) }, func() { fl.DeleteMin() }},
+	}
+
+	snapshots := map[string]skipqueue.Snapshot{}
+	for _, t := range targets {
+		rng := xrand.NewRand(seed)
+		for i := 0; i < 1000; i++ {
+			t.insert(rng.Int63() % (1 << 40))
+		}
+		deadline := time.Now().Add(d)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				r := xrand.NewRand(seed + uint64(wk)*0x9e3779b97f4a7c15)
+				obs.Do(t.name, func() {
+					for time.Now().Before(deadline) {
+						if r.Float64() < 0.5 {
+							t.insert(r.Int63() % (1 << 40))
+						} else {
+							t.del()
+						}
+					}
+				})
+			}(wk)
+		}
+		wg.Wait()
+		s := t.inst.Snapshot()
+		snapshots[t.name] = s
+		fmt.Fprintln(w, s.Table())
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(snapshots, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipbench: writing %s: %v\n", outPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %d snapshots to %s\n", len(snapshots), outPath)
+	}
+}

@@ -39,6 +39,10 @@ func MapP(p float64) MapOption { return MapOption(skiplist.WithP(p)) }
 // MapSeed seeds tower-height randomness.
 func MapSeed(s uint64) MapOption { return MapOption(skiplist.WithSeed(s)) }
 
+// MapMetrics enables the observability probes (per-operation latency and lock
+// contention), readable through Snapshot.
+func MapMetrics() MapOption { return MapOption(skiplist.WithMetrics()) }
+
 // Set inserts or updates key; it reports whether a new entry was created.
 func (m *Map[K, V]) Set(key K, value V) bool { return m.l.Set(key, value) }
 
@@ -63,6 +67,9 @@ func (m *Map[K, V]) Range(fn func(K, V) bool) { m.l.Range(fn) }
 
 // Keys returns all keys in ascending order (snapshot).
 func (m *Map[K, V]) Keys() []K { return m.l.Keys() }
+
+// Snapshot reads the observability probes (zero-valued without MapMetrics).
+func (m *Map[K, V]) Snapshot() Snapshot { return m.l.ObsSnapshot() }
 
 // Ranked is a sequential skiplist with order statistics: positional access,
 // rank queries, merge and split — the operations of Pugh's "A Skip List

@@ -26,6 +26,9 @@ package cheap
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"skipqueue/internal/obs"
 )
 
 // ordered mirrors cmp.Ordered.
@@ -80,7 +83,54 @@ type Heap[K ordered, V any] struct {
 	stSizeLocks  atomic.Uint64
 	stSwaps      atomic.Uint64
 	stChases     atomic.Uint64
+
+	obs probes
 }
+
+// probes are the heap's observability hooks, all nil until EnableMetrics
+// (the obs types are nil-safe; see core.probes for the pattern). The
+// interesting contention signals for Hunt et al.'s design are the global
+// size-lock wait — the structure's sequential bottleneck — and how far the
+// bit-reversed percolation paths actually travel, which is what the
+// bit-reversal trick exists to shorten under contention.
+type probes struct {
+	set *obs.Set
+
+	insertLat    *obs.Hist // Insert, size-lock to settled
+	deleteLat    *obs.Hist // DeleteMin, size-lock to reheapified
+	sizeLockWait *obs.Hist // time spent waiting for the global size lock
+	percolate    *obs.Hist // parent/child lock-pair steps per insert
+	reheapDepth  *obs.Hist // levels descended per delete reheapification
+
+	swaps  *obs.Counter // item swaps during reheapification
+	chases *obs.Counter // insertion steps chasing an item moved by a rival
+}
+
+func newProbes() probes {
+	set := obs.NewSet("skipqueue.heap")
+	return probes{
+		set:          set,
+		insertLat:    set.Durations("insert"),
+		deleteLat:    set.Durations("deletemin"),
+		sizeLockWait: set.Durations("sizelock.wait"),
+		percolate:    set.Values("percolate.steps"),
+		reheapDepth:  set.Values("reheap.depth"),
+		swaps:        set.Counter("swaps"),
+		chases:       set.Counter("chases"),
+	}
+}
+
+// EnableMetrics turns on the observability probes. It must be called before
+// the heap is shared between goroutines; the zero-cost default leaves every
+// probe nil.
+func (h *Heap[K, V]) EnableMetrics() { h.obs = newProbes() }
+
+// Obs returns the heap's probe set (nil without EnableMetrics).
+func (h *Heap[K, V]) Obs() *obs.Set { return h.obs.set }
+
+// ObsSnapshot reads every probe once (relaxed snapshot; see core.Queue.Stats
+// for the discipline).
+func (h *Heap[K, V]) ObsSnapshot() obs.Snapshot { return h.obs.set.Snapshot() }
 
 // New returns an empty heap holding at most capacity elements. A
 // non-positive capacity selects DefaultCapacity. Because the bit-reversal
@@ -129,13 +179,20 @@ func (h *Heap[K, V]) Stats() Stats {
 // at a time. If a concurrent operation moves the item, the tag mismatch
 // tells this operation to chase it one level up (Hunt et al., Figure 4).
 func (h *Heap[K, V]) Insert(pri K, val V) bool {
+	var t0 time.Time
+	metered := h.obs.set.Enabled()
+	if metered {
+		t0 = time.Now()
+	}
 	pid := h.nextOp.Add(1)
 
 	h.mu.Lock()
+	h.obs.sizeLockWait.Since(t0)
 	h.stSizeLocks.Add(1)
 	if h.size >= h.Cap() {
 		h.mu.Unlock()
 		h.stFulls.Add(1)
+		h.obs.insertLat.Since(t0)
 		return false
 	}
 	h.size++
@@ -148,7 +205,9 @@ func (h *Heap[K, V]) Insert(pri K, val V) bool {
 	h.slots[i].tag = pid
 	h.slots[i].mu.Unlock()
 
+	steps := uint64(0)
 	for i > 1 {
+		steps++
 		parent := i / 2
 		h.slots[parent].mu.Lock()
 		h.slots[i].mu.Lock()
@@ -168,6 +227,7 @@ func (h *Heap[K, V]) Insert(pri K, val V) bool {
 		case h.slots[i].tag != pid:
 			// Our item was swapped upward by a concurrent operation; chase it.
 			h.stChases.Add(1)
+			h.obs.chases.Add(1)
 			i = parent
 		}
 		h.slots[oldI].mu.Unlock()
@@ -181,6 +241,10 @@ func (h *Heap[K, V]) Insert(pri K, val V) bool {
 		h.slots[1].mu.Unlock()
 	}
 	h.stInserts.Add(1)
+	if metered {
+		h.obs.percolate.ObserveN(steps)
+		h.obs.insertLat.Since(t0)
+	}
 	return true
 }
 
@@ -192,11 +256,18 @@ func (h *Heap[K, V]) Insert(pri K, val V) bool {
 // lock), then swaps that item with the root's item and reheapifies downward
 // with hand-over-hand locking.
 func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
+	var t0 time.Time
+	metered := h.obs.set.Enabled()
+	if metered {
+		t0 = time.Now()
+	}
 	h.mu.Lock()
+	h.obs.sizeLockWait.Since(t0)
 	h.stSizeLocks.Add(1)
 	if h.size == 0 {
 		h.mu.Unlock()
 		h.stEmpties.Add(1)
+		h.obs.deleteLat.Since(t0)
 		return pri, val, false
 	}
 	bound := h.size
@@ -215,6 +286,7 @@ func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
 	h.slots[i].mu.Unlock()
 	if i == 1 {
 		h.stDeleteMins.Add(1)
+		h.obs.deleteLat.Since(t0)
 		return pri, val, true // the last slot was the root
 	}
 
@@ -224,6 +296,7 @@ func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
 		// the last slot is the answer.
 		h.slots[1].mu.Unlock()
 		h.stDeleteMins.Add(1)
+		h.obs.deleteLat.Since(t0)
 		return pri, val, true
 	}
 	// Exchange: return the root's item, leave the ex-last item at the root.
@@ -234,7 +307,9 @@ func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
 	// Reheapify top-down, holding at most the current node plus its
 	// children's locks at any moment.
 	i = 1
+	depth := uint64(0)
 	for {
+		depth++
 		left, right := 2*i, 2*i+1
 		if left >= len(h.slots) {
 			break
@@ -274,6 +349,10 @@ func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
 	}
 	h.slots[i].mu.Unlock()
 	h.stDeleteMins.Add(1)
+	if metered {
+		h.obs.reheapDepth.ObserveN(depth)
+		h.obs.deleteLat.Since(t0)
+	}
 	return pri, val, true
 }
 
@@ -282,6 +361,7 @@ func (h *Heap[K, V]) DeleteMin() (pri K, val V, ok bool) {
 // element.
 func (h *Heap[K, V]) swapItems(a, b int) {
 	h.stSwaps.Add(1)
+	h.obs.swaps.Add(1)
 	sa, sb := &h.slots[a], &h.slots[b]
 	sa.pri, sb.pri = sb.pri, sa.pri
 	sa.val, sb.val = sb.val, sa.val

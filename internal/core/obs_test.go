@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestObsDisabledByDefault: without Config.Metrics every probe is nil and the
+// snapshot reports disabled, while operations run unaffected.
+func TestObsDisabledByDefault(t *testing.T) {
+	q := newIntQueue(t, Config{})
+	if q.Obs() != nil {
+		t.Fatal("Obs() non-nil without Config.Metrics")
+	}
+	q.Insert(1, 1)
+	if _, _, ok := q.DeleteMin(); !ok {
+		t.Fatal("DeleteMin failed")
+	}
+	if snap := q.ObsSnapshot(); snap.Enabled {
+		t.Fatalf("snapshot enabled without metrics: %+v", snap)
+	}
+}
+
+// TestObsCountsOperations: with metrics on, the probe readings agree with the
+// legacy Stats counters on a quiescent queue.
+func TestObsCountsOperations(t *testing.T) {
+	q := newIntQueue(t, Config{Metrics: true})
+	if q.Obs() == nil {
+		t.Fatal("Obs() nil with Config.Metrics")
+	}
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		q.Insert(i, i)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, ok := q.DeleteMin(); !ok {
+			t.Fatalf("DeleteMin %d failed", i)
+		}
+	}
+	q.DeleteMin() // one empty
+
+	snap := q.ObsSnapshot()
+	if !snap.Enabled {
+		t.Fatal("snapshot disabled")
+	}
+	ins, ok := snap.Hist("insert")
+	if !ok || ins.Count != n {
+		t.Fatalf("insert hist: %+v ok=%v, want count %d", ins, ok, n)
+	}
+	del, ok := snap.Hist("deletemin")
+	if !ok || del.Count != n+1 { // n successes + 1 empty
+		t.Fatalf("deletemin hist: %+v ok=%v, want count %d", del, ok, n+1)
+	}
+	st := q.Stats()
+	if got := snap.Counter("scan.steps"); got != st.ScanSteps {
+		t.Fatalf("scan.steps probe %d != Stats.ScanSteps %d", got, st.ScanSteps)
+	}
+	if got := snap.Counter("lock.retries"); got != st.LockRetries {
+		t.Fatalf("lock.retries probe %d != Stats.LockRetries %d", got, st.LockRetries)
+	}
+}
+
+// TestObsUnderContention: the probes stay consistent with the operations
+// completed under a concurrent mixed load, and the skip classification
+// (marked vs young) decomposes the legacy combined skip counter.
+func TestObsUnderContention(t *testing.T) {
+	q := newIntQueue(t, Config{Metrics: true})
+	const workers = 8
+	const perWorker = 500
+	var deletes atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * perWorker
+			for i := int64(0); i < perWorker; i++ {
+				q.Insert(base+i, i)
+				if i%2 == 1 {
+					if _, _, ok := q.DeleteMin(); ok {
+						deletes.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := q.ObsSnapshot()
+	ins, _ := snap.Hist("insert")
+	if ins.Count != workers*perWorker {
+		t.Fatalf("insert hist count %d, want %d", ins.Count, workers*perWorker)
+	}
+	del, _ := snap.Hist("deletemin")
+	if del.Count < deletes.Load() {
+		t.Fatalf("deletemin hist count %d < successful deletes %d", del.Count, deletes.Load())
+	}
+	st := q.Stats()
+	decomposed := snap.Counter("scan.marked_skips") + snap.Counter("scan.young_skips")
+	if decomposed != st.ScanSkips {
+		t.Fatalf("marked+young skips = %d, Stats.ScanSkips = %d", decomposed, st.ScanSkips)
+	}
+}

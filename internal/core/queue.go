@@ -28,7 +28,9 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"skipqueue/internal/obs"
 	"skipqueue/internal/vclock"
 	"skipqueue/internal/xrand"
 )
@@ -71,6 +73,12 @@ type Config struct {
 	// the simulator-faithful reclamation scheme; the native library leaves
 	// it nil and relies on the Go garbage collector.
 	Retire func(deletedAt int64)
+	// Metrics enables the observability probes (internal/obs): operation
+	// latency histograms and contention counters, readable with
+	// Queue.ObsSnapshot. Disabled, every probe is a nil pointer and each
+	// probe site costs one predictable nil check — there is no build tag
+	// and no indirection to strip.
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +114,43 @@ type statsCounters struct {
 	lockRetries atomic.Uint64
 }
 
+// probes are the queue's observability hooks. All fields are nil when
+// Config.Metrics is false: the obs types are nil-safe, so probe sites in the
+// hot paths stay unconditional while compiling down to a nil check. Sites
+// that must do extra work only under metrics (reading the wall clock,
+// classifying a skip) gate on set.Enabled().
+type probes struct {
+	set *obs.Set
+
+	insertLat *obs.Hist // Insert critical section, search to linked
+	deleteLat *obs.Hist // DeleteMin critical section, scan to unlinked
+
+	lockRetries *obs.Counter // getLock/getLockFor re-acquisitions
+	claimFails  *obs.Counter // DeleteMin claim SWAPs lost to a racing deleter
+	markedSkips *obs.Counter // scan steps over already-claimed nodes
+	youngSkips  *obs.Counter // scan steps over too-new nodes (strict mode)
+	scanSteps   *obs.Counter // bottom-level nodes visited by DeleteMin
+}
+
+// newProbes registers the probe set, or returns zero probes (all nil) when
+// metrics are disabled.
+func newProbes(enabled bool) probes {
+	if !enabled {
+		return probes{}
+	}
+	set := obs.NewSet("skipqueue.core")
+	return probes{
+		set:         set,
+		insertLat:   set.Durations("insert"),
+		deleteLat:   set.Durations("deletemin"),
+		lockRetries: set.Counter("lock.retries"),
+		claimFails:  set.Counter("claim.cas_fails"),
+		markedSkips: set.Counter("scan.marked_skips"),
+		youngSkips:  set.Counter("scan.young_skips"),
+		scanSteps:   set.Counter("scan.steps"),
+	}
+}
+
 // Queue is the SkipQueue. It is safe for any number of goroutines to call
 // Insert and DeleteMin concurrently. Construct with New.
 type Queue[K ordered, V any] struct {
@@ -115,6 +160,7 @@ type Queue[K ordered, V any] struct {
 	tail  *node[K, V] // sentinel terminating every level, key unused
 	size  atomic.Int64
 	stats statsCounters
+	obs   probes
 
 	// levelSeed feeds per-goroutine level generators: each call that needs
 	// a tower height derives a fresh generator state with an atomic add, so
@@ -169,6 +215,7 @@ func (q *Queue[K, V]) SetTracer(fn func(TraceEvent[K])) {
 func New[K ordered, V any](cfg Config) *Queue[K, V] {
 	cfg = cfg.withDefaults()
 	q := &Queue[K, V]{cfg: cfg, clock: new(vclock.Clock)}
+	q.obs = newProbes(cfg.Metrics)
 	q.levelSeed.Store(cfg.Seed)
 	var zeroK K
 	q.tail = newNode[K, V](zeroK, nil, cfg.MaxLevel)
@@ -196,6 +243,16 @@ func (q *Queue[K, V]) Relaxed() bool { return q.cfg.Relaxed }
 func (q *Queue[K, V]) MaxLevel() int { return q.cfg.MaxLevel }
 
 // Stats returns a snapshot of the operation counters.
+//
+// Snapshot semantics are deliberately relaxed: each field is one atomic
+// load, taken field-by-field in a single pass with no lock and no seqlock,
+// so the struct as a whole is not a consistent cut of a running queue — an
+// operation completing concurrently with Stats may be visible in a later
+// field and not an earlier one (e.g. ScanSteps without its DeleteMins, or
+// vice versa, depending on field order). What IS guaranteed: every field is
+// itself torn-free (a whole atomic word), each field is monotone across
+// calls, and on a quiescent queue the snapshot is exact. obs.Set.Snapshot
+// follows the same discipline.
 func (q *Queue[K, V]) Stats() Stats {
 	return Stats{
 		Inserts:     q.stats.inserts.Load(),
@@ -207,6 +264,13 @@ func (q *Queue[K, V]) Stats() Stats {
 		LockRetries: q.stats.lockRetries.Load(),
 	}
 }
+
+// Obs returns the queue's probe set (nil when built without Config.Metrics).
+func (q *Queue[K, V]) Obs() *obs.Set { return q.obs.set }
+
+// ObsSnapshot reads every observability probe once (relaxed snapshot, see
+// Stats). When metrics are disabled the snapshot reports Enabled == false.
+func (q *Queue[K, V]) ObsSnapshot() obs.Snapshot { return q.obs.set.Snapshot() }
 
 // randomLevel implements the paper's randomLevel (Figure 9): a geometric
 // draw capped at maxLevel.
@@ -230,6 +294,7 @@ func (q *Queue[K, V]) getLock(node1 *node[K, V], key K, level int) *node[K, V] {
 	node2 = node1.loadNext(level)
 	for node2 != q.tail && node2.key < key {
 		q.stats.lockRetries.Add(1)
+		q.obs.lockRetries.Add(1)
 		node1.links[level].mu.Unlock()
 		node1 = node2
 		node1.links[level].mu.Lock()
@@ -258,12 +323,14 @@ func (q *Queue[K, V]) getLockFor(start, victim *node[K, V], level int) *node[K, 
 			// This can only be a transient view caused by a backward
 			// pointer; restart from the head.
 			q.stats.lockRetries.Add(1)
+			q.obs.lockRetries.Add(1)
 			node1.links[level].mu.Unlock()
 			node1 = q.head
 			node1.links[level].mu.Lock()
 			continue
 		}
 		q.stats.lockRetries.Add(1)
+		q.obs.lockRetries.Add(1)
 		node1.links[level].mu.Unlock()
 		node1 = node2
 		node1.links[level].mu.Lock()
@@ -315,6 +382,10 @@ const (
 // deleter consumed the value first, the Insert retries from scratch and
 // links a fresh node, so no inserted value is ever lost.
 func (q *Queue[K, V]) Insert(key K, value V) InsertResult {
+	var t0 time.Time
+	if q.obs.set.Enabled() {
+		t0 = time.Now()
+	}
 	savedNodes := q.savedBuf()
 	for {
 		q.search(key, savedNodes)
@@ -328,6 +399,7 @@ func (q *Queue[K, V]) Insert(key K, value V) InsertResult {
 			node1.links[0].mu.Unlock()
 			if old != nil {
 				q.stats.updates.Add(1)
+				q.obs.insertLat.Since(t0)
 				return Updated
 			}
 			// A DeleteMin consumed the old value between our search and the
@@ -356,6 +428,7 @@ func (q *Queue[K, V]) Insert(key K, value V) InsertResult {
 		nn.timeStamp.Store(stamp) // Figure 10 line 29
 		q.size.Add(1)
 		q.stats.inserts.Add(1)
+		q.obs.insertLat.Since(t0)
 		if q.tracer != nil {
 			q.tracer(TraceEvent[K]{Insert: true, Key: key, OK: true, Stamp: stamp, Done: q.clock.Now()})
 		}
@@ -370,6 +443,11 @@ func (q *Queue[K, V]) Insert(key K, value V) InsertResult {
 // inserted element may be returned instead. ok is false when no eligible
 // element exists.
 func (q *Queue[K, V]) DeleteMin() (key K, value V, ok bool) {
+	var t0 time.Time
+	metered := q.obs.set.Enabled()
+	if metered {
+		t0 = time.Now()
+	}
 	var t int64
 	if !q.cfg.Relaxed {
 		t = q.clock.Now() // Figure 11 line 1
@@ -382,17 +460,30 @@ func (q *Queue[K, V]) DeleteMin() (key K, value V, ok bool) {
 	victim := q.head.loadNext(0)
 	for victim != q.tail {
 		q.stats.scanSteps.Add(1)
+		q.obs.scanSteps.Add(1)
 		if (q.cfg.Relaxed || victim.timeStamp.Load() < t) && victim.deleted.Load() == 0 {
 			claim = q.clock.Now()
 			if victim.deleted.CompareAndSwap(0, claim) {
 				break
 			}
+			// Lost the SWAP to a racing deleter.
+			q.obs.claimFails.Add(1)
 		}
 		q.stats.scanSkips.Add(1)
+		if metered {
+			// Attribute the skip: an already-claimed node is deletion
+			// contention, a too-new timestamp is the strict ordering at work.
+			if victim.deleted.Load() != 0 {
+				q.obs.markedSkips.Add(1)
+			} else {
+				q.obs.youngSkips.Add(1)
+			}
+		}
 		victim = victim.loadNext(0)
 	}
 	if victim == q.tail {
 		q.stats.empties.Add(1)
+		q.obs.deleteLat.Since(t0)
 		if q.tracer != nil {
 			// An EMPTY delete serializes at its response (Section 4.2).
 			q.tracer(TraceEvent[K]{Start: t, Stamp: q.clock.Now()})
@@ -407,6 +498,7 @@ func (q *Queue[K, V]) DeleteMin() (key K, value V, ok bool) {
 	q.stats.deleteMins.Add(1)
 
 	q.remove(victim)
+	q.obs.deleteLat.Since(t0)
 	if q.tracer != nil {
 		q.tracer(TraceEvent[K]{Key: key, OK: true, Start: t, Stamp: claim})
 	}

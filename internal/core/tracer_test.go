@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSetTracerPanicsOnRelaxed: the tracer records the strict clock stamps;
+// installing it on a relaxed queue must refuse loudly, not record garbage.
+func TestSetTracerPanicsOnRelaxed(t *testing.T) {
+	q := newIntQueue(t, Config{Relaxed: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTracer on a relaxed queue did not panic")
+		}
+	}()
+	q.SetTracer(func(TraceEvent[int64]) {})
+}
+
+// TestTracerEmitsExactlyOneEventPerOperation runs a concurrent mixed load
+// with unique keys and checks the trace against the completed operations:
+// one Insert event per linked node, one DeleteMin event per DeleteMin call
+// (successful or EMPTY), and nothing else.
+func TestTracerEmitsExactlyOneEventPerOperation(t *testing.T) {
+	q := newIntQueue(t, Config{})
+
+	var (
+		traceInserts     atomic.Uint64
+		traceDeleteOKs   atomic.Uint64
+		traceEmpties     atomic.Uint64
+		badInsertEvents  atomic.Uint64
+		insertedKeysSeen sync.Map
+		duplicateInserts atomic.Uint64
+	)
+	q.SetTracer(func(ev TraceEvent[int64]) {
+		if ev.Insert {
+			if !ev.OK {
+				badInsertEvents.Add(1)
+			}
+			if _, dup := insertedKeysSeen.LoadOrStore(ev.Key, true); dup {
+				duplicateInserts.Add(1)
+			}
+			traceInserts.Add(1)
+		} else if ev.OK {
+			traceDeleteOKs.Add(1)
+		} else {
+			traceEmpties.Add(1)
+		}
+	})
+
+	const workers = 8
+	const perWorker = 400
+	var (
+		doneInserts   atomic.Uint64
+		doneDeleteOKs atomic.Uint64
+		doneEmpties   atomic.Uint64
+		wg            sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w+1) << 32 // unique keys per worker: no updates
+			for i := int64(0); i < perWorker; i++ {
+				if q.Insert(base+i, i) == Inserted {
+					doneInserts.Add(1)
+				}
+				if i%3 == 2 {
+					if _, _, ok := q.DeleteMin(); ok {
+						doneDeleteOKs.Add(1)
+					} else {
+						doneEmpties.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := traceInserts.Load(), doneInserts.Load(); got != want {
+		t.Errorf("insert events = %d, completed inserts = %d", got, want)
+	}
+	if got, want := traceDeleteOKs.Load(), doneDeleteOKs.Load(); got != want {
+		t.Errorf("successful delete events = %d, successful deletes = %d", got, want)
+	}
+	if got, want := traceEmpties.Load(), doneEmpties.Load(); got != want {
+		t.Errorf("empty delete events = %d, empty deletes = %d", got, want)
+	}
+	if n := badInsertEvents.Load(); n != 0 {
+		t.Errorf("%d insert events carried OK=false", n)
+	}
+	if n := duplicateInserts.Load(); n != 0 {
+		t.Errorf("%d keys emitted more than one insert event", n)
+	}
+}

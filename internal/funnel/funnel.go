@@ -25,7 +25,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"skipqueue/internal/obs"
 	"skipqueue/internal/xrand"
 )
 
@@ -98,6 +100,9 @@ type Config struct {
 	MaxWidth int
 	// Spins is the in-slot wait window, in spin iterations.
 	Spins int
+	// Metrics enables the observability probes (internal/obs); see the
+	// matching field on core.Config. Disabled, probes are nil pointers.
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -139,12 +144,61 @@ type List[K ordered, V any] struct {
 	stCombines   atomic.Uint64
 	stLockAcqs   atomic.Uint64
 	stMaxBatch   atomic.Uint64
+
+	obs probes
 }
+
+// probes are the funnel's observability hooks, all nil when Config.Metrics
+// is false (the obs types are nil-safe; see core.probes for the pattern).
+// The combining-specific signals — batch depth per lock acquisition and the
+// funnel width seen on entry — are the numbers Shavit/Zemach use to explain
+// when combining pays for itself.
+type probes struct {
+	set *obs.Set
+
+	insertLat *obs.Hist // Insert, funnel entry to result
+	deleteLat *obs.Hist // DeleteMin, funnel entry to result
+	lockWait  *obs.Hist // combiner's time from entry to holding the list lock
+	lockHold  *obs.Hist // time the list lock is held per batch
+	depth     *obs.Hist // batch size executed per lock acquisition
+	width     *obs.Hist // top-layer funnel width observed on entry
+
+	captures *obs.Counter // requests absorbed by a combiner
+	lockAcqs *obs.Counter // list-lock acquisitions
+	rejects  *obs.Counter // collisions between incompatible operation kinds
+}
+
+func newProbes(enabled bool) probes {
+	if !enabled {
+		return probes{}
+	}
+	set := obs.NewSet("skipqueue.funnel")
+	return probes{
+		set:       set,
+		insertLat: set.Durations("insert"),
+		deleteLat: set.Durations("deletemin"),
+		lockWait:  set.Durations("lock.wait"),
+		lockHold:  set.Durations("lock.hold"),
+		depth:     set.Values("combine.depth"),
+		width:     set.Values("funnel.width"),
+		captures:  set.Counter("combine.captures"),
+		lockAcqs:  set.Counter("lock.acqs"),
+		rejects:   set.Counter("combine.rejects"),
+	}
+}
+
+// Obs returns the list's probe set (nil when built without Config.Metrics).
+func (l *List[K, V]) Obs() *obs.Set { return l.obs.set }
+
+// ObsSnapshot reads every probe once (relaxed snapshot; see core.Queue.Stats
+// for the discipline).
+func (l *List[K, V]) ObsSnapshot() obs.Snapshot { return l.obs.set.Snapshot() }
 
 // New returns an empty FunnelList.
 func New[K ordered, V any](cfg Config) *List[K, V] {
 	cfg = cfg.withDefaults()
 	l := &List[K, V]{cfg: cfg}
+	l.obs = newProbes(cfg.Metrics)
 	l.slots = make([][]atomic.Pointer[request[K, V]], cfg.Layers)
 	for i := range l.slots {
 		l.slots[i] = make([]atomic.Pointer[request[K, V]], cfg.MaxWidth)
@@ -171,26 +225,42 @@ func (l *List[K, V]) Stats() Stats {
 
 // Insert adds key/value to the list.
 func (l *List[K, V]) Insert(key K, val V) {
+	var t0 time.Time
+	if l.obs.set.Enabled() {
+		t0 = time.Now()
+	}
 	r := &request[K, V]{kind: opInsert, item: kv[K, V]{key, val}, done: make(chan struct{})}
-	l.run(r)
+	l.run(r, t0)
+	l.obs.insertLat.Since(t0)
 }
 
 // DeleteMin removes and returns the minimum element. ok is false when the
 // list was empty at the time the batch holding this request ran.
 func (l *List[K, V]) DeleteMin() (key K, val V, ok bool) {
+	var t0 time.Time
+	if l.obs.set.Enabled() {
+		t0 = time.Now()
+	}
 	r := &request[K, V]{kind: opDeleteMin, done: make(chan struct{})}
-	l.run(r)
+	l.run(r, t0)
+	l.obs.deleteLat.Since(t0)
 	return r.resKey, r.resVal, r.resOK
 }
 
 // run pushes a request through the funnel; on return the request's results
-// are final.
-func (l *List[K, V]) run(r *request[K, V]) {
+// are final. t0 is the operation's entry stamp (zero when metrics are off),
+// reused for the lock-wait probe so the combiner's wait includes its funnel
+// descent — the quantity the combining is supposed to bound.
+func (l *List[K, V]) run(r *request[K, V], t0 time.Time) {
 	conc := l.conc.Add(1)
 	defer l.conc.Add(-1)
 
 	rng := l.rngs.Get().(*xrand.Rand)
 	defer l.rngs.Put(rng)
+
+	if l.obs.set.Enabled() {
+		l.obs.width.ObserveN(uint64(l.layerWidth(0)))
+	}
 
 	// Adaptive shortcut: alone in the structure, skip the funnel entirely.
 	if conc > 1 {
@@ -201,8 +271,15 @@ func (l *List[K, V]) run(r *request[K, V]) {
 	}
 
 	l.mu.Lock()
+	l.obs.lockWait.Since(t0)
+	var hold0 time.Time
+	if l.obs.set.Enabled() {
+		hold0 = time.Now()
+	}
 	l.stLockAcqs.Add(1)
+	l.obs.lockAcqs.Add(1)
 	l.apply(r)
+	l.obs.lockHold.Since(hold0)
 	l.mu.Unlock()
 	close(r.done)
 }
@@ -219,10 +296,12 @@ func (l *List[K, V]) descend(r *request[K, V], rng *xrand.Rand) bool {
 				if x.kind == r.kind && x.state.CompareAndSwap(statePending, stateCaptured) {
 					r.children = append(r.children, x)
 					l.stCombines.Add(1)
+					l.obs.captures.Add(1)
 				} else {
 					// Incompatible kind (or a protocol race): hand the
 					// request back to its spinning owner.
 					x.state.Store(stateRejected)
+					l.obs.rejects.Add(1)
 				}
 			}
 			continue
@@ -326,6 +405,7 @@ func (l *List[K, V]) mergeSorted(items []kv[K, V]) {
 }
 
 func (l *List[K, V]) recordBatch(n int) {
+	l.obs.depth.ObserveN(uint64(n))
 	for {
 		old := l.stMaxBatch.Load()
 		if uint64(n) <= old || l.stMaxBatch.CompareAndSwap(old, uint64(n)) {

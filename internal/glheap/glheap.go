@@ -10,6 +10,9 @@ package glheap
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"skipqueue/internal/obs"
 )
 
 // ordered mirrors cmp.Ordered.
@@ -31,6 +34,28 @@ type Heap[K ordered, V any] struct {
 	mu    sync.Mutex
 	items []item[K, V]
 	size  atomic.Int64
+	obs   probes
+}
+
+// probes are the heap's observability hooks, all nil until EnableMetrics.
+// For a single-lock structure the only interesting signal IS the lock: how
+// long operations wait for it, and how long they hold it.
+type probes struct {
+	set *obs.Set
+
+	insertLat *obs.Hist // Insert, entry to unlocked
+	deleteLat *obs.Hist // DeleteMin, entry to unlocked
+	lockWait  *obs.Hist // time spent waiting for the global lock
+}
+
+func newProbes() probes {
+	set := obs.NewSet("skipqueue.globallock")
+	return probes{
+		set:       set,
+		insertLat: set.Durations("insert"),
+		deleteLat: set.Durations("deletemin"),
+		lockWait:  set.Durations("lock.wait"),
+	}
 }
 
 // New returns an empty heap.
@@ -38,23 +63,46 @@ func New[K ordered, V any]() *Heap[K, V] {
 	return &Heap[K, V]{}
 }
 
+// EnableMetrics turns on the observability probes. Call before the heap is
+// shared between goroutines.
+func (h *Heap[K, V]) EnableMetrics() { h.obs = newProbes() }
+
+// Obs returns the heap's probe set (nil without EnableMetrics).
+func (h *Heap[K, V]) Obs() *obs.Set { return h.obs.set }
+
+// ObsSnapshot reads every probe once (relaxed snapshot; see core.Queue.Stats
+// for the discipline).
+func (h *Heap[K, V]) ObsSnapshot() obs.Snapshot { return h.obs.set.Snapshot() }
+
 // Len returns the number of elements.
 func (h *Heap[K, V]) Len() int { return int(h.size.Load()) }
 
 // Insert adds an element.
 func (h *Heap[K, V]) Insert(key K, val V) {
+	var t0 time.Time
+	if h.obs.set.Enabled() {
+		t0 = time.Now()
+	}
 	h.mu.Lock()
+	h.obs.lockWait.Since(t0)
 	h.items = append(h.items, item[K, V]{key, val})
 	h.siftUp(len(h.items) - 1)
 	h.mu.Unlock()
 	h.size.Add(1)
+	h.obs.insertLat.Since(t0)
 }
 
 // DeleteMin removes and returns the minimum element.
 func (h *Heap[K, V]) DeleteMin() (key K, val V, ok bool) {
+	var t0 time.Time
+	if h.obs.set.Enabled() {
+		t0 = time.Now()
+	}
 	h.mu.Lock()
+	h.obs.lockWait.Since(t0)
 	if len(h.items) == 0 {
 		h.mu.Unlock()
+		h.obs.deleteLat.Since(t0)
 		return key, val, false
 	}
 	top := h.items[0]
@@ -66,6 +114,7 @@ func (h *Heap[K, V]) DeleteMin() (key K, val V, ok bool) {
 	}
 	h.mu.Unlock()
 	h.size.Add(-1)
+	h.obs.deleteLat.Since(t0)
 	return top.key, top.val, true
 }
 

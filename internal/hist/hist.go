@@ -149,6 +149,36 @@ func (h *H) Summary() string {
 	return b.String()
 }
 
+// Octave is one power-of-two band of samples: Count samples fell in
+// [Lo, 2*Lo) (or [0, 2) for the first band).
+type Octave struct {
+	Lo    uint64
+	Count uint64
+}
+
+// Octaves coalesces the fine-grained buckets into power-of-two bands and
+// returns the non-empty ones in ascending order. It is the shape consumed by
+// the ASCII distribution bars of internal/obs: octave resolution is coarse
+// enough to fit a terminal and fine enough to show a contention tail.
+func (h *H) Octaves() []Octave {
+	var out []Octave
+	for o := 0; o < maxOctaves; o++ {
+		var c uint64
+		for b := 0; b < bucketsPerOctave; b++ {
+			c += h.buckets[o*bucketsPerOctave+b].Load()
+		}
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if o > 0 {
+			lo = 1 << o
+		}
+		out = append(out, Octave{Lo: lo, Count: c})
+	}
+	return out
+}
+
 // Quantiles returns the requested quantiles in order; convenience for
 // table-driven reporting.
 func (h *H) Quantiles(qs ...float64) []time.Duration {

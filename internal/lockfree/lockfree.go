@@ -22,7 +22,9 @@ package lockfree
 
 import (
 	"sync/atomic"
+	"time"
 
+	"skipqueue/internal/obs"
 	"skipqueue/internal/vclock"
 	"skipqueue/internal/xrand"
 )
@@ -73,6 +75,9 @@ type Config struct {
 	P        float64
 	Relaxed  bool
 	Seed     uint64
+	// Metrics enables the observability probes (internal/obs); see the
+	// matching field on core.Config. Disabled, probes are nil pointers.
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,7 +126,53 @@ type Queue[K ordered, V any] struct {
 	stEmpties    atomic.Uint64
 	stCASRetries atomic.Uint64
 	stUnlinks    atomic.Uint64
+
+	obs probes
 }
+
+// probes are the queue's observability hooks, all nil when Config.Metrics is
+// false (the obs types are nil-safe; see core.probes for the pattern).
+type probes struct {
+	set *obs.Set
+
+	insertLat *obs.Hist // Insert, search to fully linked
+	deleteLat *obs.Hist // DeleteMin, scan to marked-and-unlinked
+
+	casRetries   *obs.Counter // failed structural CASes across all operations
+	unlinks      *obs.Counter // physical unlink CASes (including helping)
+	claimFails   *obs.Counter // DeleteMin claim SWAPs lost to a racing deleter
+	markedHelps  *obs.Counter // marked nodes the scan helped unlink
+	youngSkips   *obs.Counter // nodes skipped for a too-new timestamp (strict)
+	claimedSkips *obs.Counter // nodes skipped because already claimed
+	scanSteps    *obs.Counter // bottom-level nodes visited by DeleteMin
+}
+
+func newProbes(enabled bool) probes {
+	if !enabled {
+		return probes{}
+	}
+	set := obs.NewSet("skipqueue.lockfree")
+	return probes{
+		set:          set,
+		insertLat:    set.Durations("insert"),
+		deleteLat:    set.Durations("deletemin"),
+		casRetries:   set.Counter("cas.retries"),
+		unlinks:      set.Counter("cas.unlinks"),
+		claimFails:   set.Counter("claim.cas_fails"),
+		markedHelps:  set.Counter("scan.marked_helps"),
+		youngSkips:   set.Counter("scan.young_skips"),
+		claimedSkips: set.Counter("scan.claimed_skips"),
+		scanSteps:    set.Counter("scan.steps"),
+	}
+}
+
+// Obs returns the queue's probe set (nil when built without Config.Metrics).
+func (q *Queue[K, V]) Obs() *obs.Set { return q.obs.set }
+
+// ObsSnapshot reads every probe once. The snapshot follows the relaxed
+// discipline documented on core.Queue.Stats: each probe is loaded
+// atomically, the set is not a consistent cut.
+func (q *Queue[K, V]) ObsSnapshot() obs.Snapshot { return q.obs.set.Snapshot() }
 
 // TraceEvent mirrors core.TraceEvent for history checking: Stamp is the
 // insert completion stamp (drawn before its write) or the delete's claim
@@ -171,6 +222,7 @@ func (q *Queue[K, V]) SetTracer(fn func(TraceEvent[K])) {
 func New[K ordered, V any](cfg Config) *Queue[K, V] {
 	cfg = cfg.withDefaults()
 	q := &Queue[K, V]{cfg: cfg, clock: new(vclock.Clock)}
+	q.obs = newProbes(cfg.Metrics)
 	q.levelSeed.Store(cfg.Seed)
 	var zero K
 	q.tail = q.newNode(zero, *new(V), cfg.MaxLevel)
@@ -240,13 +292,16 @@ retry:
 					predMk := pred.loadNext(level)
 					if predMk.next != curr || predMk.marked {
 						q.stCASRetries.Add(1)
+						q.obs.casRetries.Add(1)
 						continue retry
 					}
 					if !pred.next[level].CompareAndSwap(predMk, &markable[K, V]{next: mk.next}) {
 						q.stCASRetries.Add(1)
+						q.obs.casRetries.Add(1)
 						continue retry
 					}
 					q.stUnlinks.Add(1)
+					q.obs.unlinks.Add(1)
 					if level == 0 {
 						q.dbg("unlink-find", curr, pred, mk.next)
 					}
@@ -279,6 +334,10 @@ retry:
 // As in the lock-based queue, a collision with a node already claimed by a
 // DeleteMin retries with a fresh node, so no insert is silently lost.
 func (q *Queue[K, V]) Insert(key K, value V) bool {
+	var t0 time.Time
+	if q.obs.set.Enabled() {
+		t0 = time.Now()
+	}
 	preds := make([]*node[K, V], q.cfg.MaxLevel)
 	succs := make([]*node[K, V], q.cfg.MaxLevel)
 	for {
@@ -289,11 +348,13 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 			existing := succs[0]
 			if existing.claimed.Load() == 0 {
 				q.stUpdates.Add(1)
+				q.obs.insertLat.Since(t0)
 				return false
 			}
 			// Claimed: it is logically gone; retry until it is unlinked so
 			// the new node can take its place.
 			q.stCASRetries.Add(1)
+			q.obs.casRetries.Add(1)
 			continue
 		}
 
@@ -306,10 +367,12 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 		predMk := preds[0].loadNext(0)
 		if predMk.next != succs[0] || predMk.marked {
 			q.stCASRetries.Add(1)
+			q.obs.casRetries.Add(1)
 			continue
 		}
 		if !preds[0].next[0].CompareAndSwap(predMk, &markable[K, V]{next: nn}) {
 			q.stCASRetries.Add(1)
+			q.obs.casRetries.Add(1)
 			continue
 		}
 		q.dbg("splice", nn, preds[0], succs[0])
@@ -325,6 +388,7 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 				if mk.next != succ {
 					if !nn.next[level].CompareAndSwap(mk, &markable[K, V]{next: succ}) {
 						q.stCASRetries.Add(1)
+						q.obs.casRetries.Add(1)
 						continue
 					}
 				}
@@ -334,6 +398,7 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 					break
 				}
 				q.stCASRetries.Add(1)
+				q.obs.casRetries.Add(1)
 				q.find(key, nn, preds, succs)
 			}
 		}
@@ -342,6 +407,7 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 		nn.stamp.Store(stamp)
 		q.size.Add(1)
 		q.stInserts.Add(1)
+		q.obs.insertLat.Since(t0)
 		if q.tracer != nil {
 			q.tracer(TraceEvent[K]{Insert: true, Key: key, OK: true, Stamp: stamp, Done: q.clock.Now()})
 		}
@@ -362,6 +428,11 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 // pointer; every pointer it follows was therefore loaded, unmarked, after
 // the scan's start, and cannot skip an eligible element.
 func (q *Queue[K, V]) DeleteMin() (key K, value V, ok bool) {
+	var t0 time.Time
+	metered := q.obs.set.Enabled()
+	if metered {
+		t0 = time.Now()
+	}
 	var t int64
 	if !q.cfg.Relaxed {
 		t = q.clock.Now()
@@ -371,18 +442,23 @@ retry:
 		pred := q.head // the head's pairs are never marked
 		curr := pred.loadNext(0).next
 		for !curr.isTail {
+			q.obs.scanSteps.Add(1)
 			mk := curr.loadNext(0)
 			if mk.marked {
+				q.obs.markedHelps.Add(1)
 				predMk := pred.loadNext(0)
 				if predMk.marked || predMk.next != curr {
 					q.stCASRetries.Add(1)
+					q.obs.casRetries.Add(1)
 					continue retry
 				}
 				if !pred.next[0].CompareAndSwap(predMk, &markable[K, V]{next: mk.next}) {
 					q.stCASRetries.Add(1)
+					q.obs.casRetries.Add(1)
 					continue retry
 				}
 				q.stUnlinks.Add(1)
+				q.obs.unlinks.Add(1)
 				q.dbg("unlink-scan", curr, pred, mk.next)
 				curr = mk.next
 				continue
@@ -396,6 +472,7 @@ retry:
 					q.remove(curr)
 					q.size.Add(-1)
 					q.stDeleteMins.Add(1)
+					q.obs.deleteLat.Since(t0)
 					if q.tracer != nil {
 						q.tracer(TraceEvent[K]{Key: curr.key, OK: true, Start: t, Stamp: ticket})
 					}
@@ -404,7 +481,15 @@ retry:
 				// Lost the claim race; re-examine curr (it is claimed now
 				// and will be skipped or unlinked above).
 				q.stCASRetries.Add(1)
+				q.obs.claimFails.Add(1)
 				continue
+			}
+			if metered {
+				if claimV != 0 {
+					q.obs.claimedSkips.Add(1)
+				} else {
+					q.obs.youngSkips.Add(1)
+				}
 			}
 			if q.debug != nil && !q.cfg.Relaxed {
 				var zk K
@@ -418,6 +503,7 @@ retry:
 			curr = mk.next
 		}
 		q.stEmpties.Add(1)
+		q.obs.deleteLat.Since(t0)
 		if q.tracer != nil {
 			q.tracer(TraceEvent[K]{Start: t, Stamp: q.clock.Now()})
 		}
@@ -441,6 +527,7 @@ func (q *Queue[K, V]) remove(victim *node[K, V]) {
 				break
 			}
 			q.stCASRetries.Add(1)
+			q.obs.casRetries.Add(1)
 		}
 	}
 	preds := make([]*node[K, V], q.cfg.MaxLevel)

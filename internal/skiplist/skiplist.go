@@ -22,7 +22,9 @@ package skiplist
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"skipqueue/internal/obs"
 	"skipqueue/internal/xrand"
 )
 
@@ -64,7 +66,42 @@ type List[K ordered, V any] struct {
 	tail     *node[K, V]
 	size     atomic.Int64
 	seed     atomic.Uint64
+	obs      probes
 }
+
+// probes are the list's observability hooks, all nil unless WithMetrics was
+// given to New. Pugh's locking discipline serializes only on per-node,
+// per-level locks, so the contention signals are how often getLock has to
+// re-acquire after losing a race and how long the splice sections hold locks.
+type probes struct {
+	set *obs.Set
+
+	setLat      *obs.Hist    // Set, entry to return
+	deleteLat   *obs.Hist    // Delete, entry to return
+	lockHold    *obs.Hist    // splice/unlink section, first lock to last unlock
+	lockRetries *obs.Counter // getLock/getLockVictim re-acquisitions
+}
+
+func newProbes(enabled bool) probes {
+	if !enabled {
+		return probes{}
+	}
+	set := obs.NewSet("skipqueue.skiplist")
+	return probes{
+		set:         set,
+		setLat:      set.Durations("set"),
+		deleteLat:   set.Durations("delete"),
+		lockHold:    set.Durations("lock.hold"),
+		lockRetries: set.Counter("lock.retries"),
+	}
+}
+
+// Obs returns the list's probe set (nil without WithMetrics).
+func (l *List[K, V]) Obs() *obs.Set { return l.obs.set }
+
+// ObsSnapshot reads every probe once (relaxed snapshot; see core.Queue.Stats
+// for the discipline).
+func (l *List[K, V]) ObsSnapshot() obs.Snapshot { return l.obs.set.Snapshot() }
 
 // Option configures a List.
 type Option func(*options)
@@ -73,6 +110,7 @@ type options struct {
 	maxLevel int
 	p        float64
 	seed     uint64
+	metrics  bool
 }
 
 // WithMaxLevel bounds tower heights at n levels.
@@ -83,6 +121,10 @@ func WithP(p float64) Option { return func(o *options) { o.p = p } }
 
 // WithSeed seeds the level generator for reproducible tower shapes.
 func WithSeed(s uint64) Option { return func(o *options) { o.seed = s } }
+
+// WithMetrics enables the observability probes (latency histograms and lock
+// contention counters). Disabled, every probe site is one nil check.
+func WithMetrics() Option { return func(o *options) { o.metrics = true } }
 
 // New returns an empty list.
 func New[K ordered, V any](opts ...Option) *List[K, V] {
@@ -96,7 +138,7 @@ func New[K ordered, V any](opts ...Option) *List[K, V] {
 	if o.p <= 0 || o.p >= 1 {
 		o.p = DefaultP
 	}
-	l := &List[K, V]{maxLevel: o.maxLevel, p: o.p}
+	l := &List[K, V]{maxLevel: o.maxLevel, p: o.p, obs: newProbes(o.metrics)}
 	l.seed.Store(o.seed)
 	var zero K
 	l.tail = &node[K, V]{key: zero, links: make([]link[K, V], o.maxLevel)}
@@ -127,6 +169,7 @@ func (l *List[K, V]) getLock(node1 *node[K, V], key K, level int) *node[K, V] {
 	node1.links[level].mu.Lock()
 	node2 = node1.links[level].next.Load()
 	for node2 != l.tail && node2.key < key {
+		l.obs.lockRetries.Add(1)
 		node1.links[level].mu.Unlock()
 		node1 = node2
 		node1.links[level].mu.Lock()
@@ -183,14 +226,25 @@ func (l *List[K, V]) Contains(key K) bool {
 // Set inserts key with value, or replaces the existing value. It reports
 // whether a new node was inserted (false means updated in place).
 func (l *List[K, V]) Set(key K, value V) bool {
+	var t0 time.Time
+	metered := l.obs.set.Enabled()
+	if metered {
+		t0 = time.Now()
+	}
 	saved := make([]*node[K, V], l.maxLevel)
 	l.search(key, saved)
 
 	node1 := l.getLock(saved[0], key, 0)
+	var hold0 time.Time
+	if metered {
+		hold0 = time.Now()
+	}
 	node2 := node1.links[0].next.Load()
 	if node2 != l.tail && node2.key == key {
 		node2.value.Store(&value)
 		node1.links[0].mu.Unlock()
+		l.obs.lockHold.Since(hold0)
+		l.obs.setLat.Since(t0)
 		return false
 	}
 
@@ -208,6 +262,8 @@ func (l *List[K, V]) Set(key K, value V) bool {
 	}
 	nn.nodeMu.Unlock()
 	l.size.Add(1)
+	l.obs.lockHold.Since(hold0)
+	l.obs.setLat.Since(t0)
 	return true
 }
 
@@ -215,6 +271,11 @@ func (l *List[K, V]) Set(key K, value V) bool {
 // absent. Concurrent Deletes of the same key resolve to exactly one winner.
 func (l *List[K, V]) Delete(key K) (V, bool) {
 	var zero V
+	var t0 time.Time
+	metered := l.obs.set.Enabled()
+	if metered {
+		t0 = time.Now()
+	}
 	saved := make([]*node[K, V], l.maxLevel)
 	l.search(key, saved)
 
@@ -225,16 +286,22 @@ func (l *List[K, V]) Delete(key K) (V, bool) {
 	victim := node1.links[0].next.Load()
 	if victim == l.tail || victim.key != key {
 		node1.links[0].mu.Unlock()
+		l.obs.deleteLat.Since(t0)
 		return zero, false
 	}
 	vp := victim.value.Swap(nil)
 	node1.links[0].mu.Unlock()
 	if vp == nil {
 		// Another deleter claimed it first and is unlinking it now.
+		l.obs.deleteLat.Since(t0)
 		return zero, false
 	}
 
 	victim.nodeMu.Lock() // wait out a concurrent insertion of this node
+	var hold0 time.Time
+	if metered {
+		hold0 = time.Now()
+	}
 	for i := victim.level() - 1; i >= 0; i-- {
 		n1 := l.getLockVictim(saved[i], victim, i)
 		victim.links[i].mu.Lock()
@@ -245,6 +312,8 @@ func (l *List[K, V]) Delete(key K) (V, bool) {
 	}
 	victim.nodeMu.Unlock()
 	l.size.Add(-1)
+	l.obs.lockHold.Since(hold0)
+	l.obs.deleteLat.Since(t0)
 	return *vp, true
 }
 
@@ -259,6 +328,7 @@ func (l *List[K, V]) getLockVictim(start, victim *node[K, V], level int) *node[K
 	}
 	node1.links[level].mu.Lock()
 	for node1.links[level].next.Load() != victim {
+		l.obs.lockRetries.Add(1)
 		node2 = node1.links[level].next.Load()
 		if node2 == l.tail || victim.key < node2.key {
 			node1.links[level].mu.Unlock()

@@ -32,6 +32,7 @@ func NewLockFree[K Ordered, V any](opts ...Option) *LockFree[K, V] {
 		P:        cfg.P,
 		Relaxed:  cfg.Relaxed,
 		Seed:     cfg.Seed,
+		Metrics:  cfg.Metrics,
 	})}
 }
 
@@ -62,3 +63,6 @@ type LockFreeStats = lockfree.Stats
 
 // Stats returns a snapshot of the operation counters.
 func (q *LockFree[K, V]) Stats() LockFreeStats { return q.q.Stats() }
+
+// Snapshot reads the observability probes (zero-valued without WithMetrics).
+func (q *LockFree[K, V]) Snapshot() Snapshot { return q.q.ObsSnapshot() }

@@ -1,0 +1,149 @@
+package skipqueue
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPQKeyDecodeAllocFree: pqPriority must not copy the key into a fresh
+// []byte — Pop calls it once per element.
+func TestPQKeyDecodeAllocFree(t *testing.T) {
+	key := pqKey(-42, 7)
+	if n := testing.AllocsPerRun(100, func() {
+		if pqPriority(key) != -42 {
+			t.Fatal("bad decode")
+		}
+	}); n != 0 {
+		t.Errorf("pqPriority allocates %v times per call, want 0", n)
+	}
+}
+
+// TestPQKeyRoundTrip checks pqPriority inverts pqKey across the full int64
+// range, including both sign-bit sides.
+func TestPQKeyRoundTrip(t *testing.T) {
+	priorities := []int64{
+		math.MinInt64, math.MinInt64 + 1, -1 << 32, -42, -1, 0, 1, 42,
+		1 << 32, math.MaxInt64 - 1, math.MaxInt64,
+	}
+	for _, p := range priorities {
+		if got := pqPriority(pqKey(p, 12345)); got != p {
+			t.Errorf("pqPriority(pqKey(%d)) = %d", p, got)
+		}
+	}
+	// Ordering: keys must sort by (priority, seq).
+	if !(pqKey(-1, 9) < pqKey(0, 0)) || !(pqKey(5, 1) < pqKey(5, 2)) {
+		t.Error("composite keys do not sort by (priority, seq)")
+	}
+}
+
+// TestSnapshotDisabledByDefault: without WithMetrics every family returns the
+// zero Snapshot and pays only nil checks.
+func TestSnapshotDisabledByDefault(t *testing.T) {
+	for name, q := range map[string]Instrumented{
+		"Queue":          New[int64, int](),
+		"PQ":             NewPQ[int](),
+		"LockFree":       NewLockFree[int64, int](),
+		"Heap":           NewHeap[int64, int](1 << 10),
+		"GlobalLockHeap": NewGlobalLockHeap[int64, int](),
+		"FunnelList":     NewFunnelList[int64, int](),
+		"Map":            NewMap[int64, int](),
+	} {
+		if s := q.Snapshot(); s.Enabled {
+			t.Errorf("%s: metrics enabled without WithMetrics", name)
+		}
+	}
+}
+
+// TestSnapshotAllFamilies drives every family through the Instrumented
+// interface with metrics on and checks that the operation histograms counted
+// every call.
+func TestSnapshotAllFamilies(t *testing.T) {
+	const n = 300
+	type family struct {
+		q      Instrumented
+		insert func(int64)
+		del    func() bool
+		insKey string
+		delKey string
+	}
+	sq := New[int64, int](WithMetrics())
+	pq := NewPQ[int](WithMetrics())
+	lf := NewLockFree[int64, int](WithMetrics())
+	hp := NewHeap[int64, int](1<<12, WithMetrics())
+	gl := NewGlobalLockHeap[int64, int](WithMetrics())
+	fl := NewFunnelList[int64, int](WithMetrics())
+	families := map[string]family{
+		"Queue": {sq, func(k int64) { sq.Insert(k, 0) },
+			func() bool { _, _, ok := sq.DeleteMin(); return ok }, "insert", "deletemin"},
+		"PQ": {pq, func(k int64) { pq.Push(k, 0) },
+			func() bool { _, _, ok := pq.Pop(); return ok }, "insert", "deletemin"},
+		"LockFree": {lf, func(k int64) { lf.Insert(k, 0) },
+			func() bool { _, _, ok := lf.DeleteMin(); return ok }, "insert", "deletemin"},
+		"Heap": {hp, func(k int64) { _ = hp.Insert(k, 0) },
+			func() bool { _, _, ok := hp.DeleteMin(); return ok }, "insert", "deletemin"},
+		"GlobalLockHeap": {gl, func(k int64) { gl.Insert(k, 0) },
+			func() bool { _, _, ok := gl.DeleteMin(); return ok }, "insert", "deletemin"},
+		"FunnelList": {fl, func(k int64) { fl.Insert(k, 0) },
+			func() bool { _, _, ok := fl.DeleteMin(); return ok }, "insert", "deletemin"},
+	}
+	for name, f := range families {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := int64(w+1) << 32
+				for i := int64(0); i < n; i++ {
+					f.insert(base + i)
+				}
+				for i := 0; i < n; i++ {
+					f.del()
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		s := f.q.Snapshot()
+		if !s.Enabled {
+			t.Errorf("%s: snapshot not enabled", name)
+			continue
+		}
+		ins, ok := s.Hist(f.insKey)
+		if !ok || ins.Count != 4*n {
+			t.Errorf("%s: insert hist count = %d (present=%v), want %d", name, ins.Count, ok, 4*n)
+		}
+		del, ok := s.Hist(f.delKey)
+		if !ok || del.Count != 4*n {
+			t.Errorf("%s: deletemin hist count = %d (present=%v), want %d", name, del.Count, ok, 4*n)
+		}
+		if _, err := json.Marshal(s); err != nil {
+			t.Errorf("%s: snapshot does not marshal: %v", name, err)
+		}
+		if s.String() == "" {
+			t.Errorf("%s: empty table rendering", name)
+		}
+	}
+}
+
+// TestMapSnapshot covers the Map family separately (different method names).
+func TestMapSnapshot(t *testing.T) {
+	m := NewMap[int64, int](MapMetrics())
+	for i := int64(0); i < 100; i++ {
+		m.Set(i, 0)
+	}
+	for i := int64(0); i < 100; i++ {
+		m.Delete(i)
+	}
+	s := m.Snapshot()
+	if !s.Enabled {
+		t.Fatal("snapshot not enabled")
+	}
+	if h, ok := s.Hist("set"); !ok || h.Count != 100 {
+		t.Errorf("set hist count = %d, want 100", h.Count)
+	}
+	if h, ok := s.Hist("delete"); !ok || h.Count != 100 {
+		t.Errorf("delete hist count = %d, want 100", h.Count)
+	}
+}

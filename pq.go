@@ -41,9 +41,15 @@ func pqKey(priority int64, seq uint64) string {
 	return string(b[:])
 }
 
-// pqPriority decodes the priority from a composite key.
+// pqPriority decodes the priority from a composite key. It reads the bytes
+// directly off the string: a []byte(key) conversion here allocates a copy on
+// every Pop, and this sits on the hot path.
 func pqPriority(key string) int64 {
-	return int64(binary.BigEndian.Uint64([]byte(key[:8])) ^ (1 << 63))
+	_ = key[7] // bounds hint
+	u := uint64(key[0])<<56 | uint64(key[1])<<48 | uint64(key[2])<<40 |
+		uint64(key[3])<<32 | uint64(key[4])<<24 | uint64(key[5])<<16 |
+		uint64(key[6])<<8 | uint64(key[7])
+	return int64(u ^ (1 << 63))
 }
 
 // Push adds value with the given priority. Duplicate priorities are fine.
@@ -76,3 +82,7 @@ func (pq *PQ[V]) Len() int { return pq.q.Len() }
 
 // Stats returns the underlying queue's operation counters.
 func (pq *PQ[V]) Stats() Stats { return pq.q.Stats() }
+
+// Snapshot reads the underlying queue's observability probes (zero-valued
+// without WithMetrics).
+func (pq *PQ[V]) Snapshot() Snapshot { return pq.q.ObsSnapshot() }

@@ -29,6 +29,7 @@ package skipqueue
 
 import (
 	"skipqueue/internal/core"
+	"skipqueue/internal/obs"
 )
 
 // Ordered is the key constraint: any type totally ordered by <.
@@ -64,8 +65,30 @@ func WithP(p float64) Option { return func(c *core.Config) { c.P = p } }
 // reproducible.
 func WithSeed(s uint64) Option { return func(c *core.Config) { c.Seed = s } }
 
+// WithMetrics enables the observability layer: per-operation latency
+// histograms and contention probes, readable through Snapshot. Disabled (the
+// default), every probe site compiles to a nil check — see
+// docs/OBSERVABILITY.md for the measured overhead of both states.
+func WithMetrics() Option { return func(c *core.Config) { c.Metrics = true } }
+
 // Stats are the queue's monotone operation counters.
 type Stats = core.Stats
+
+// Snapshot is a point-in-time reading of a queue's observability probes:
+// counters plus latency histograms with quantiles and log2 buckets. Snapshots
+// are relaxed in the same sense as Stats — each probe is read atomically, but
+// the set is not a consistent cut of a concurrently mutating queue. The
+// zero Snapshot (Enabled false) is what queues built without WithMetrics
+// return. Render with its Table or String methods, or marshal it to JSON.
+type Snapshot = obs.Snapshot
+
+// Instrumented is implemented by every queue family in this package: Queue,
+// PQ, LockFree, Heap, GlobalLockHeap, FunnelList and Map all expose their
+// probes through the same Snapshot shape, so harnesses can compare structures
+// without per-type code.
+type Instrumented interface {
+	Snapshot() Snapshot
+}
 
 // New returns an empty queue.
 func New[K Ordered, V any](opts ...Option) *Queue[K, V] {
@@ -106,6 +129,9 @@ func (q *Queue[K, V]) Relaxed() bool { return q.q.Relaxed() }
 
 // Stats returns a snapshot of the operation counters.
 func (q *Queue[K, V]) Stats() Stats { return q.q.Stats() }
+
+// Snapshot reads the observability probes (zero-valued without WithMetrics).
+func (q *Queue[K, V]) Snapshot() Snapshot { return q.q.ObsSnapshot() }
 
 // Keys returns the keys of all unclaimed elements in ascending order.
 // Intended for tests and debugging of quiescent queues; under concurrency
