@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-smoke check experiments verify
+.PHONY: all build vet test race bench bench-smoke check experiments verify pqd loadtest
 
 all: build test
 
@@ -24,9 +24,34 @@ check: vet test
 	$(MAKE) bench-smoke
 
 # Short metrics-on pass over the native queues: exercises every probe site
-# and prints the snapshot tables.
+# and prints the snapshot tables. Also runs a short loopback pass of the
+# network daemon, leaving its latency report in BENCH_server.json.
 bench-smoke:
 	go run ./cmd/skipbench -metrics -metrics-duration 200ms
+	$(MAKE) loadtest LOADTEST_DURATION=2s
+
+# Build the network daemon and its load generator into bin/.
+pqd:
+	go build -o bin/pqd ./cmd/pqd
+	go build -o bin/pqload ./cmd/pqload
+
+LOADTEST_DURATION ?= 10s
+
+# Loopback smoke test of the daemon: start pqd on an ephemeral port, drive
+# it with the closed-loop load generator (report lands in BENCH_server.json),
+# then SIGTERM it and require a clean drain (pqd exits 0).
+loadtest: pqd
+	@set -e; \
+	./bin/pqd -addr 127.0.0.1:0 -metrics 127.0.0.1:0 >.pqd.out 2>&1 & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 50); do \
+	  addr=$$(sed -n 's/.*listening addr=\([^ ]*\).*/\1/p' .pqd.out); \
+	  [ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then echo "pqd never announced an address:"; cat .pqd.out; kill $$pid 2>/dev/null; exit 1; fi; \
+	rc=0; ./bin/pqload -addr $$addr -duration $(LOADTEST_DURATION) -out BENCH_server.json || rc=$$?; \
+	kill -TERM $$pid; wait $$pid || rc=$$?; \
+	cat .pqd.out; rm -f .pqd.out; exit $$rc
 
 short:
 	go test -short ./...

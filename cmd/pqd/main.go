@@ -1,0 +1,169 @@
+// Command pqd is the priority-queue daemon: it serves one queue backend
+// over TCP using the frame protocol of internal/wire (see docs/SERVER.md
+// for the protocol and operational semantics).
+//
+// Backend selection mirrors the repository's queue families:
+//
+//	pqd -backend skipqueue   # the paper's strict SkipQueue (default)
+//	pqd -backend relaxed     # SkipQueue without the timestamp mechanism
+//	pqd -backend lockfree    # the CAS-based successor
+//	pqd -backend glheap      # single-lock binary heap baseline
+//
+// Backpressure: -max-conns bounds concurrent connections (excess gets one
+// BUSY frame), -max-inflight bounds frames applied per connection between
+// response flushes. -metrics exposes the server's and backend's probe
+// snapshots as JSON on /debug/vars (expvar) at the given address.
+//
+// On SIGTERM or SIGINT pqd drains: it stops accepting, answers frames
+// already received normally, replies SHUTDOWN to frames arriving during
+// the drain window, then closes connections and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skipqueue"
+	"skipqueue/internal/obs"
+	"skipqueue/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// newBackend builds the queue family named by -backend. The second return
+// is the same object's observability surface.
+func newBackend(name string, metrics bool) (server.Backend, skipqueue.Instrumented, error) {
+	var opts []skipqueue.Option
+	if metrics {
+		opts = append(opts, skipqueue.WithMetrics())
+	}
+	switch name {
+	case "skipqueue":
+		pq := skipqueue.NewPQ[[]byte](opts...)
+		return pq, pq, nil
+	case "relaxed":
+		pq := skipqueue.NewPQ[[]byte](append(opts, skipqueue.WithRelaxed())...)
+		return pq, pq, nil
+	case "lockfree":
+		pq := skipqueue.NewLockFreePQ[[]byte](opts...)
+		return pq, pq, nil
+	case "glheap":
+		pq := skipqueue.NewGlobalHeapPQ[[]byte](opts...)
+		return pq, pq, nil
+	}
+	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree or glheap)", name)
+}
+
+// publish registers fn under name in the expvar registry, tolerating
+// re-registration (run may be invoked more than once in tests).
+func publish(name string, fn func() obs.Snapshot) {
+	if expvar.Get(name) == nil {
+		obs.Publish(name, fn)
+	}
+}
+
+// run is main minus os.Exit, factored out so tests can drive the daemon —
+// including its signal handling — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:9400", "TCP listen address")
+		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap")
+		maxConns    = fs.Int("max-conns", server.DefaultMaxConns, "max concurrent connections; excess is refused with BUSY")
+		maxInflight = fs.Int("max-inflight", server.DefaultMaxInflight, "max frames applied per connection between response flushes")
+		maxFrame    = fs.Int("max-frame", 0, "max accepted frame size in bytes (0 = protocol default, 1MiB)")
+		drainWindow = fs.Duration("drain-window", server.DefaultDrainWindow, "how long a drain keeps answering late frames with SHUTDOWN")
+		drainWait   = fs.Duration("drain-timeout", 5*time.Second, "total shutdown budget before connections are force-closed")
+		metricsAddr = fs.String("metrics", "", "serve expvar metrics over HTTP on this address (also enables probe collection)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	metrics := *metricsAddr != ""
+	backend, inst, err := newBackend(*backendName, metrics)
+	if err != nil {
+		fmt.Fprintf(stderr, "pqd: %v\n", err)
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Backend:     backend,
+		MaxConns:    *maxConns,
+		MaxInflight: *maxInflight,
+		MaxFrame:    *maxFrame,
+		DrainWindow: *drainWindow,
+		Metrics:     metrics,
+	})
+
+	if metrics {
+		publish("pqd.server", srv.Snapshot)
+		publish("pqd.backend", inst.Snapshot)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "pqd: metrics listener: %v\n", err)
+			return 1
+		}
+		defer mln.Close()
+		fmt.Fprintf(stdout, "pqd: metrics on http://%s/debug/vars\n", mln.Addr())
+		go http.Serve(mln, nil) // expvar's handler lives on DefaultServeMux
+	}
+
+	// Register the drain trigger before announcing the address, so a
+	// SIGTERM arriving the moment the address is known is never fatal.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pqd: listen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pqd: listening addr=%s backend=%s max-conns=%d max-inflight=%d\n",
+		ln.Addr(), *backendName, *maxConns, *maxInflight)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "pqd: %v: draining (window=%v budget=%v)\n", sig, *drainWindow, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		err := srv.Shutdown(ctx)
+		cancel()
+		<-serveErr
+		if metrics {
+			snap := srv.Snapshot()
+			fmt.Fprintf(stdout, "pqd: drained: frames=%d shutdown_replies=%d drain=%v backend_len=%d\n",
+				snap.Counter("frames"), snap.Counter("drain.shutdown_replies"),
+				time.Duration(snap.Counter("drain.ns")), backend.Len())
+		} else {
+			fmt.Fprintf(stdout, "pqd: drained: backend_len=%d\n", backend.Len())
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "pqd: drain incomplete: %v\n", err)
+			return 1
+		}
+		return 0
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, server.ErrServerClosed) {
+			fmt.Fprintf(stderr, "pqd: serve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

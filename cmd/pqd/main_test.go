@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"skipqueue/internal/client"
+)
+
+// addrWriter captures run()'s stdout and delivers the announced listen
+// address as soon as it appears.
+type addrWriter struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	addrCh chan string
+	sent   bool
+}
+
+var addrRe = regexp.MustCompile(`listening addr=(\S+)`)
+
+func (w *addrWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if m := addrRe.FindSubmatch(w.buf.Bytes()); m != nil {
+			w.sent = true
+			w.addrCh <- string(m[1])
+		}
+	}
+	return len(p), nil
+}
+
+func (w *addrWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRunDrainsOnSIGTERM drives the real daemon entry point in-process:
+// start it, serve traffic, deliver an actual SIGTERM, and require a clean
+// drain (exit 0, late ops answered SHUTDOWN or refused, listener gone).
+func TestRunDrainsOnSIGTERM(t *testing.T) {
+	for _, backend := range []string{"skipqueue", "lockfree"} {
+		t.Run(backend, func(t *testing.T) {
+			w := &addrWriter{addrCh: make(chan string, 1)}
+			var stderr bytes.Buffer
+			exitc := make(chan int, 1)
+			go func() {
+				exitc <- run([]string{
+					"-addr", "127.0.0.1:0",
+					"-backend", backend,
+					"-drain-window", "100ms",
+					"-drain-timeout", "5s",
+				}, w, &stderr)
+			}()
+
+			var addr string
+			select {
+			case addr = <-w.addrCh:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+			}
+
+			cl, err := client.Dial(client.Config{Addr: addr, Retries: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				if err := cl.Insert(int64(i), []byte("x")); err != nil {
+					t.Fatalf("Insert %d: %v", i, err)
+				}
+			}
+			if n, err := cl.Len(); err != nil || n != 50 {
+				t.Fatalf("Len = %d, %v; want 50", n, err)
+			}
+
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+
+			// During the drain window, ops are answered SHUTDOWN (typed) or
+			// the connection ends; either way nothing hangs.
+			drainDeadline := time.Now().Add(3 * time.Second)
+			for time.Now().Before(drainDeadline) {
+				err := cl.Ping()
+				if err == nil {
+					continue // signal not yet observed by the server
+				}
+				if errors.Is(err, client.ErrShutdown) || errors.Is(err, client.ErrConn) || errors.Is(err, client.ErrBusy) {
+					break
+				}
+				t.Fatalf("Ping during drain: unexpected error %v", err)
+			}
+
+			select {
+			case code := <-exitc:
+				if code != 0 {
+					t.Fatalf("run exited %d, want 0; stderr: %s", code, stderr.String())
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("daemon did not exit after SIGTERM")
+			}
+			if !strings.Contains(w.String(), "draining") {
+				t.Fatalf("stdout missing drain notice:\n%s", w.String())
+			}
+			if !strings.Contains(w.String(), "drained") {
+				t.Fatalf("stdout missing drain completion:\n%s", w.String())
+			}
+		})
+	}
+}
+
+// TestRunBadBackend: an unknown backend is a usage error (exit 2).
+func TestRunBadBackend(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-backend", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown backend") {
+		t.Fatalf("stderr missing backend error: %s", errOut.String())
+	}
+}
+
+// TestRunAllBackends: every advertised backend selection constructs and
+// serves at least one op end to end.
+func TestRunAllBackends(t *testing.T) {
+	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap"} {
+		t.Run(backend, func(t *testing.T) {
+			b, inst, err := newBackend(backend, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Push(5, []byte("v"))
+			if p, v, ok := b.Pop(); !ok || p != 5 || string(v) != "v" {
+				t.Fatalf("Pop = %d/%q/%v", p, v, ok)
+			}
+			if !inst.Snapshot().Enabled {
+				t.Fatal("metrics snapshot not enabled")
+			}
+		})
+	}
+}

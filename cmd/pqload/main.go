@@ -1,0 +1,250 @@
+// Command pqload is the load generator for pqd: it drives a mixed
+// Insert/DeleteMin workload over internal/client and reports throughput
+// and latency quantiles, optionally as a JSON benchmark artifact
+// (BENCH_server.json). Together with pqd it is the repository's standing
+// macro-benchmark: a client-driven open-system workload, as opposed to the
+// closed-loop microbenchmarks of cmd/skipbench.
+//
+// Two modes:
+//
+//   - closed loop (default): -workers goroutines each issue the next
+//     operation as soon as the previous one completes. Measures the
+//     server's saturated throughput.
+//   - open loop (-rate N): operations are dispatched on a fixed schedule
+//     of N ops/sec regardless of completions, and latency is measured
+//     from the scheduled dispatch time, so queueing delay shows up in the
+//     quantiles instead of being silently omitted (Gruber's
+//     coordinated-omission point).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue/internal/client"
+	"skipqueue/internal/hist"
+)
+
+// latSummary is the JSON shape of one operation's latency distribution.
+type latSummary struct {
+	N      uint64  `json:"n"`
+	MeanNs int64   `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	MeanMs float64 `json:"mean_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func summarize(h *hist.H) latSummary {
+	return latSummary{
+		N:      h.Count(),
+		MeanNs: int64(h.Mean()),
+		P50Ns:  int64(h.Quantile(0.50)),
+		P90Ns:  int64(h.Quantile(0.90)),
+		P99Ns:  int64(h.Quantile(0.99)),
+		MaxNs:  int64(h.Max()),
+		MeanMs: float64(h.Mean()) / 1e6,
+		P99Ms:  float64(h.Quantile(0.99)) / 1e6,
+	}
+}
+
+// report is the BENCH_server.json document.
+type report struct {
+	Bench     string     `json:"bench"`
+	Mode      string     `json:"mode"`
+	Addr      string     `json:"addr"`
+	Conns     int        `json:"conns"`
+	Workers   int        `json:"workers"`
+	RateOps   int        `json:"rate_ops_per_s,omitempty"`
+	Mix       float64    `json:"insert_mix"`
+	ValueSize int        `json:"value_bytes"`
+	Duration  float64    `json:"duration_s"`
+	Ops       uint64     `json:"ops"`
+	Errors    uint64     `json:"errors"`
+	Thru      float64    `json:"throughput_ops_per_s"`
+	Insert    latSummary `json:"insert"`
+	DeleteMin latSummary `json:"deletemin"`
+	FinalLen  int        `json:"final_len"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9400", "pqd address")
+		conns    = flag.Int("conns", 8, "pooled connections")
+		workers  = flag.Int("workers", 16, "closed-loop worker goroutines")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		rate     = flag.Int("rate", 0, "open-loop target ops/sec (0 = closed loop)")
+		mix      = flag.Float64("mix", 0.5, "fraction of operations that are Inserts")
+		valueSz  = flag.Int("value", 16, "value payload bytes")
+		prefill  = flag.Int("prefill", 1000, "elements inserted before measuring")
+		keyspace = flag.Int64("keyspace", 1<<20, "priorities drawn uniformly from [0, keyspace)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		out      = flag.String("out", "", "write the JSON report to this file (e.g. BENCH_server.json)")
+	)
+	flag.Parse()
+
+	cl, err := client.Dial(client.Config{Addr: *addr, Conns: *conns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqload: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	value := make([]byte, *valueSz)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *prefill; i++ {
+		if err := cl.Insert(rng.Int63n(*keyspace), value); err != nil {
+			fmt.Fprintf(os.Stderr, "pqload: prefill: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var (
+		insertH, deleteH hist.H
+		ops, errs        atomic.Uint64
+	)
+	mode := "closed"
+	start := time.Now()
+	if *rate > 0 {
+		mode = "open"
+		runOpen(cl, *rate, *duration, *mix, *keyspace, *seed, value, &insertH, &deleteH, &ops, &errs)
+	} else {
+		runClosed(cl, *workers, *duration, *mix, *keyspace, *seed, value, &insertH, &deleteH, &ops, &errs)
+	}
+	elapsed := time.Since(start)
+
+	finalLen, err := cl.Len()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqload: final Len: %v\n", err)
+	}
+
+	r := report{
+		Bench:     "pqd loopback macro-benchmark (cmd/pqload)",
+		Mode:      mode,
+		Addr:      *addr,
+		Conns:     *conns,
+		Workers:   *workers,
+		RateOps:   *rate,
+		Mix:       *mix,
+		ValueSize: *valueSz,
+		Duration:  elapsed.Seconds(),
+		Ops:       ops.Load(),
+		Errors:    errs.Load(),
+		Thru:      float64(ops.Load()) / elapsed.Seconds(),
+		Insert:    summarize(&insertH),
+		DeleteMin: summarize(&deleteH),
+		FinalLen:  finalLen,
+	}
+
+	fmt.Printf("pqload: mode=%s ops=%d errors=%d elapsed=%v throughput=%.0f ops/s\n",
+		r.Mode, r.Ops, r.Errors, elapsed.Round(time.Millisecond), r.Thru)
+	fmt.Printf("  insert:    %s\n", insertH.Summary())
+	fmt.Printf("  deletemin: %s\n", deleteH.Summary())
+
+	if *out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pqload: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pqload: wrote %s\n", *out)
+	}
+}
+
+// runClosed saturates the server: each worker issues its next op as soon as
+// the previous completes.
+func runClosed(cl *client.Client, workers int, d time.Duration, mix float64,
+	keyspace int64, seed int64, value []byte,
+	insertH, deleteH *hist.H, ops, errs *atomic.Uint64) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1e9))
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if rng.Float64() < mix {
+					if err := cl.Insert(rng.Int63n(keyspace), value); err != nil {
+						errs.Add(1)
+					} else {
+						insertH.Observe(time.Since(t0))
+					}
+				} else {
+					if _, _, _, err := cl.DeleteMin(); err != nil {
+						errs.Add(1)
+					} else {
+						deleteH.Observe(time.Since(t0))
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen dispatches ops on a fixed schedule and measures latency from the
+// scheduled time, so a slow server accumulates visible queueing delay.
+func runOpen(cl *client.Client, rate int, d time.Duration, mix float64,
+	keyspace int64, seed int64, value []byte,
+	insertH, deleteH *hist.H, ops, errs *atomic.Uint64) {
+	interval := time.Second / time.Duration(rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	deadline := time.Now().Add(d)
+	rng := rand.New(rand.NewSource(seed))
+	var wg sync.WaitGroup
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		scheduled := next
+		next = next.Add(interval)
+		isInsert := rng.Float64() < mix
+		prio := rng.Int63n(keyspace)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				p   *client.Pending
+				err error
+			)
+			if isInsert {
+				p, err = cl.InsertAsync(prio, value)
+			} else {
+				p, err = cl.DeleteMinAsync()
+			}
+			if err == nil {
+				_, err = p.Wait()
+			}
+			lat := time.Since(scheduled)
+			if err != nil {
+				errs.Add(1)
+			} else if isInsert {
+				insertH.Observe(lat)
+			} else {
+				deleteH.Observe(lat)
+			}
+			ops.Add(1)
+		}()
+	}
+	wg.Wait()
+}

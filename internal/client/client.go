@@ -1,0 +1,515 @@
+// Package client is the Go client for pqd (internal/server): a connection
+// pool speaking the internal/wire frame protocol with pipelined calls,
+// per-operation timeouts, bounded retries, and typed errors.
+//
+// The protocol is order-matched: each connection's responses arrive in
+// request order, so the client keeps a FIFO of pending calls per
+// connection and needs no request IDs. Calls from any number of goroutines
+// are multiplexed over the pool; a per-connection writer goroutine
+// coalesces concurrently submitted requests into one socket write
+// (client-side micro-batching, the mirror image of the server's), and a
+// reader goroutine completes pending calls as response frames arrive.
+//
+// Error taxonomy:
+//
+//   - ErrBusy: the server refused under backpressure; the request was not
+//     applied. Retried automatically up to Config.Retries.
+//   - ErrShutdown: the server is draining; the request was not applied.
+//     Not retried — the server is going away.
+//   - ErrTimeout: no response within Config.OpTimeout. The request may or
+//     may not have been applied.
+//   - ErrConn (wrapping the transport error): the connection died with the
+//     request possibly in flight. Only Ping, Peek and Len — requests that
+//     are safe to repeat — are retried; Insert and DeleteMin are not, to
+//     keep at-most-once application.
+//   - RemoteError: the server answered ERR (malformed request).
+//   - ErrClosed: this client was closed.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue/internal/wire"
+)
+
+// Typed errors; see the package comment for when each occurs.
+var (
+	ErrClosed   = errors.New("client: closed")
+	ErrBusy     = errors.New("client: server over capacity")
+	ErrShutdown = errors.New("client: server shutting down")
+	ErrTimeout  = errors.New("client: operation timed out")
+	ErrConn     = errors.New("client: connection failed")
+)
+
+// RemoteError is a server-reported request error (wire.StatusErr).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "client: server error: " + e.Msg }
+
+// Config configures a Client. Addr is required; zero values elsewhere
+// select the defaults noted on each field.
+type Config struct {
+	// Addr is the server's TCP address ("host:port"). Required.
+	Addr string
+	// Conns is the pool size (default 1). Calls round-robin across it.
+	Conns int
+	// Window caps pipelined in-flight calls per connection (default 128).
+	// Submitting past it blocks — the client-side face of backpressure.
+	Window int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// OpTimeout bounds each call's wait for a response (default 10s).
+	OpTimeout time.Duration
+	// Retries is how many times a failed call is re-attempted when safe
+	// (default 2; see the package comment for the retry policy).
+	Retries int
+	// MaxFrame bounds accepted response frames (default wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 128
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+}
+
+// Client is a pooled, pipelined pqd client. Safe for concurrent use.
+type Client struct {
+	cfg    Config
+	closed atomic.Bool
+	next   atomic.Uint64
+
+	mu    sync.Mutex
+	slots []*conn
+}
+
+// Dial creates a client and eagerly establishes the first pooled
+// connection, so a bad address fails here rather than on the first call.
+func Dial(cfg Config) (*Client, error) {
+	cfg.fillDefaults()
+	cl := &Client{cfg: cfg, slots: make([]*conn, cfg.Conns)}
+	c, err := dialConn(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cl.slots[0] = c
+	return cl, nil
+}
+
+// Close closes every pooled connection. In-flight calls complete with
+// ErrClosed or their transport error.
+func (cl *Client) Close() error {
+	if cl.closed.Swap(true) {
+		return nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, c := range cl.slots {
+		if c != nil {
+			c.fail(ErrClosed)
+		}
+	}
+	return nil
+}
+
+// getConn picks the next pooled connection, redialing dead slots.
+func (cl *Client) getConn() (*conn, error) {
+	if cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	i := int(cl.next.Add(1) % uint64(len(cl.slots)))
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	c := cl.slots[i]
+	if c == nil || c.isDead() {
+		nc, err := dialConn(cl.cfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.slots[i] = nc
+		c = nc
+	}
+	return c, nil
+}
+
+// Result is one completed call's payload: Priority/Value/Found for
+// element-returning ops, Len for OpLen. Value is an owned copy.
+type Result struct {
+	Priority int64
+	Value    []byte
+	Found    bool
+	Len      int
+}
+
+// Pending is an in-flight pipelined call; see the *Async methods.
+type Pending struct {
+	call    *call
+	timeout time.Duration
+}
+
+// Wait blocks for the response (bounded by the client's OpTimeout) and
+// returns it. Wait may be called once from any goroutine.
+func (p *Pending) Wait() (Result, error) {
+	select {
+	case <-p.call.done:
+	case <-time.After(p.timeout):
+		return Result{}, ErrTimeout
+	}
+	return p.call.res, p.call.err
+}
+
+// submit enqueues one request on a pooled connection.
+func (cl *Client) submit(op wire.Kind, arg int64, data []byte) (*Pending, error) {
+	c, err := cl.getConn()
+	if err != nil {
+		return nil, err
+	}
+	req, err := wire.Append(nil, wire.Frame{Kind: op, Arg: arg, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	ca := &call{op: op, req: req, done: make(chan struct{})}
+	if err := c.enqueue(ca); err != nil {
+		return nil, err
+	}
+	return &Pending{call: ca, timeout: cl.cfg.OpTimeout}, nil
+}
+
+// retryable classifies errors the sync wrappers may re-attempt. Connection
+// errors are retryable only for repeat-safe ops; BUSY and dial failures
+// always (the request was provably not applied).
+func retryable(op wire.Kind, err error) bool {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return true
+	case errors.Is(err, ErrConn):
+		return op == wire.OpPing || op == wire.OpPeek || op == wire.OpLen
+	}
+	return false
+}
+
+// do is the sync path: submit, wait, retry per policy.
+func (cl *Client) do(op wire.Kind, arg int64, data []byte) (Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 2 * time.Millisecond)
+		}
+		p, err := cl.submit(op, arg, data)
+		if err != nil {
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrShutdown) {
+				return Result{}, err
+			}
+			// Submission failed before anything reached the server (dial
+			// error, dead connection): safe to retry for every op.
+			lastErr = err
+			continue
+		}
+		res, err := p.Wait()
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(op, err) {
+			return Result{}, err
+		}
+	}
+	return Result{}, lastErr
+}
+
+// Insert adds value at priority.
+func (cl *Client) Insert(priority int64, value []byte) error {
+	_, err := cl.do(wire.OpInsert, priority, value)
+	return err
+}
+
+// DeleteMin removes and returns the minimum element; found is false on an
+// empty queue.
+func (cl *Client) DeleteMin() (priority int64, value []byte, found bool, err error) {
+	res, err := cl.do(wire.OpDeleteMin, 0, nil)
+	return res.Priority, res.Value, res.Found, err
+}
+
+// Peek returns the minimum element without removing it (advisory under
+// concurrency, like PQ.Peek).
+func (cl *Client) Peek() (priority int64, value []byte, found bool, err error) {
+	res, err := cl.do(wire.OpPeek, 0, nil)
+	return res.Priority, res.Value, res.Found, err
+}
+
+// Len returns the server-side element count.
+func (cl *Client) Len() (int, error) {
+	res, err := cl.do(wire.OpLen, 0, nil)
+	return res.Len, err
+}
+
+// Ping round-trips a no-op frame.
+func (cl *Client) Ping() error {
+	_, err := cl.do(wire.OpPing, 0, nil)
+	return err
+}
+
+// InsertAsync submits an Insert without waiting; call Pending.Wait to
+// collect the ack. Async calls are not retried.
+func (cl *Client) InsertAsync(priority int64, value []byte) (*Pending, error) {
+	return cl.submit(wire.OpInsert, priority, value)
+}
+
+// DeleteMinAsync submits a DeleteMin without waiting.
+func (cl *Client) DeleteMinAsync() (*Pending, error) {
+	return cl.submit(wire.OpDeleteMin, 0, nil)
+}
+
+// call is one request/response pair in flight.
+type call struct {
+	op   wire.Kind
+	req  []byte
+	res  Result
+	err  error
+	once sync.Once
+	done chan struct{}
+}
+
+func (c *call) complete(res Result, err error) {
+	c.once.Do(func() {
+		c.res, c.err = res, err
+		close(c.done)
+	})
+}
+
+// conn is one pooled connection: a writer goroutine batching wq into
+// socket writes, a reader goroutine matching response frames to the
+// inflight FIFO.
+type conn struct {
+	nc       net.Conn
+	wq       chan *call
+	inflight chan *call
+	window   int
+	maxFrame int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	dead   atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+func dialConn(cfg Config) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConn, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &conn{
+		nc:       nc,
+		wq:       make(chan *call, cfg.Window),
+		inflight: make(chan *call, cfg.Window),
+		window:   cfg.Window,
+		maxFrame: cfg.MaxFrame,
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *conn) isDead() bool { return c.dead.Load() }
+
+// fail kills the connection once: records err, wakes both loops, and lets
+// them drain every queued and in-flight call with that error.
+func (c *conn) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+	if c.dead.Swap(true) {
+		return
+	}
+	c.cancel()
+	c.nc.Close()
+}
+
+func (c *conn) failErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrConn
+}
+
+// enqueue hands a call to the writer, blocking when the pipeline window is
+// full (client-side backpressure).
+func (c *conn) enqueue(ca *call) error {
+	if c.dead.Load() {
+		return c.failErr()
+	}
+	select {
+	case c.wq <- ca:
+		// If the connection died between the dead check and the send, the
+		// writer may already have drained and exited; sweep again so the
+		// call cannot be stranded.
+		if c.dead.Load() {
+			c.drainPending()
+		}
+		return nil
+	case <-c.ctx.Done():
+		return c.failErr()
+	}
+}
+
+// writeLoop batches queued calls: everything submitted by the time it wakes
+// goes out in one write. Each call enters the inflight FIFO before its
+// bytes are written, preserving request/response order.
+func (c *conn) writeLoop() {
+	var out []byte
+	batch := make([]*call, 0, c.window)
+	for {
+		select {
+		case <-c.ctx.Done():
+			c.drainPending()
+			return
+		case first := <-c.wq:
+			batch = append(batch[:0], first)
+		gather:
+			for len(batch) < c.window {
+				select {
+				case more := <-c.wq:
+					batch = append(batch, more)
+				default:
+					break gather
+				}
+			}
+			out = out[:0]
+			aborted := false
+			for _, ca := range batch {
+				if aborted {
+					ca.complete(Result{}, c.failErr())
+					continue
+				}
+				select {
+				case c.inflight <- ca:
+					out = append(out, ca.req...)
+				case <-c.ctx.Done():
+					ca.complete(Result{}, c.failErr())
+					aborted = true
+				}
+			}
+			if aborted {
+				c.drainPending()
+				return
+			}
+			c.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			if _, err := c.nc.Write(out); err != nil {
+				c.fail(fmt.Errorf("%w: write: %v", ErrConn, err))
+				c.drainPending()
+				return
+			}
+		}
+	}
+}
+
+// readLoop completes inflight calls as response frames arrive.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	for {
+		f, rb, err := wire.Read(br, buf, c.maxFrame)
+		buf = rb
+		if err != nil {
+			c.fail(fmt.Errorf("%w: read: %v", ErrConn, err))
+			c.drainPending()
+			return
+		}
+		var ca *call
+		select {
+		case ca = <-c.inflight:
+		default:
+			// A frame with nothing outstanding: the server's one-frame
+			// refusal of the whole connection, or a protocol violation.
+			switch f.Kind {
+			case wire.StatusBusy:
+				c.fail(ErrBusy)
+			case wire.StatusShutdown:
+				c.fail(ErrShutdown)
+			default:
+				c.fail(fmt.Errorf("%w: unsolicited %v frame", ErrConn, f.Kind))
+			}
+			c.drainPending()
+			return
+		}
+		ca.complete(decodeResponse(ca.op, f))
+	}
+}
+
+// decodeResponse maps one response frame to the call's Result/error.
+func decodeResponse(op wire.Kind, f wire.Frame) (Result, error) {
+	switch f.Kind {
+	case wire.StatusOK:
+		res := Result{Priority: f.Arg}
+		switch op {
+		case wire.OpDeleteMin, wire.OpPeek:
+			res.Found = true
+			res.Value = append([]byte(nil), f.Data...) // Data aliases the read buffer
+		case wire.OpLen:
+			res.Len = int(f.Arg)
+		}
+		return res, nil
+	case wire.StatusEmpty:
+		return Result{}, nil
+	case wire.StatusBusy:
+		return Result{}, ErrBusy
+	case wire.StatusShutdown:
+		return Result{}, ErrShutdown
+	case wire.StatusErr:
+		return Result{}, &RemoteError{Msg: string(f.Data)}
+	}
+	return Result{}, fmt.Errorf("%w: unexpected response kind %v", ErrConn, f.Kind)
+}
+
+// drainPending completes every queued and in-flight call with the
+// connection's error. Both loops call it on exit; completion is idempotent,
+// and after ctx is cancelled no new calls enter either channel, so between
+// the two sweeps nothing is left hanging.
+func (c *conn) drainPending() {
+	err := c.failErr()
+	for {
+		select {
+		case ca := <-c.wq:
+			ca.complete(Result{}, err)
+		case ca := <-c.inflight:
+			ca.complete(Result{}, err)
+		default:
+			return
+		}
+	}
+}

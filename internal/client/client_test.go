@@ -1,0 +1,263 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"skipqueue"
+	"skipqueue/internal/client"
+	"skipqueue/internal/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	if cfg.Backend == nil {
+		cfg.Backend = skipqueue.NewPQ[[]byte]()
+	}
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// TestDialFailure: a dead address fails Dial with the typed ErrConn.
+func TestDialFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := client.Dial(client.Config{Addr: addr, DialTimeout: time.Second}); !errors.Is(err, client.ErrConn) {
+		t.Fatalf("Dial to closed port: err = %v, want ErrConn", err)
+	}
+}
+
+// TestClosedClient: every call on a closed client fails with ErrClosed.
+func TestClosedClient(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	cl, err := client.Dial(client.Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := cl.Ping(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Ping after Close: err = %v, want ErrClosed", err)
+	}
+	if err := cl.Insert(1, []byte("x")); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Insert after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestReconnect: the pool redials a connection the server dropped, so a
+// repeat-safe op recovers transparently.
+func TestReconnect(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server, dropping the pooled connection with it.
+	srv.Close()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("Ping succeeded against a closed server")
+	}
+	// The redundant second failure exercises the dead-slot path too.
+	if err := cl.Ping(); err == nil {
+		t.Fatal("Ping succeeded against a closed server")
+	}
+	// ...until a new server appears on the same address.
+	backend := skipqueue.NewPQ[[]byte]()
+	srv2 := server.New(server.Config{Backend: backend})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	go srv2.Serve(ln)
+	defer srv2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := cl.Ping(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after server restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownTyped: ops against a draining server surface ErrShutdown.
+func TestShutdownTyped(t *testing.T) {
+	srv, addr := startServer(t, server.Config{DrainWindow: 300 * time.Millisecond})
+	cl, err := client.Dial(client.Config{Addr: addr, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		close(done)
+	}()
+	// Poll until the drain flag is visible on the wire.
+	var sawShutdown bool
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		err := cl.Ping()
+		if errors.Is(err, client.ErrShutdown) {
+			sawShutdown = true
+			break
+		}
+		if err != nil {
+			break // conn died after the window: acceptable end state
+		}
+	}
+	<-done
+	if !sawShutdown {
+		t.Log("drain window closed before a SHUTDOWN reply was observed (conn error instead)")
+	}
+}
+
+// TestPropertyVsLocalPQ is the protocol property test: a random op sequence
+// through client+server must behave identically to the same sequence on an
+// in-process PQ, op by op. Sequential submission makes both sides
+// deterministic (strict ordering, FIFO within equal priorities).
+func TestPropertyVsLocalPQ(t *testing.T) {
+	remote := skipqueue.NewPQ[[]byte]()
+	_, addr := startServer(t, server.Config{Backend: remote})
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	local := skipqueue.NewPQ[[]byte]()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert, biased to keep the queue non-trivial
+			prio := int64(rng.Intn(64) - 32) // small range forces duplicate priorities
+			val := []byte(fmt.Sprintf("v%d", i))
+			local.Push(prio, val)
+			if err := cl.Insert(prio, val); err != nil {
+				t.Fatalf("op %d Insert: %v", i, err)
+			}
+		case 4, 5, 6:
+			lp, lv, lok := local.Pop()
+			rp, rv, rok, err := cl.DeleteMin()
+			if err != nil {
+				t.Fatalf("op %d DeleteMin: %v", i, err)
+			}
+			if lok != rok || lp != rp || !bytes.Equal(lv, rv) {
+				t.Fatalf("op %d DeleteMin diverged: local %d/%q/%v, remote %d/%q/%v",
+					i, lp, lv, lok, rp, rv, rok)
+			}
+		case 7, 8:
+			lp, lv, lok := local.Peek()
+			rp, rv, rok, err := cl.Peek()
+			if err != nil {
+				t.Fatalf("op %d Peek: %v", i, err)
+			}
+			if lok != rok || lp != rp || !bytes.Equal(lv, rv) {
+				t.Fatalf("op %d Peek diverged: local %d/%q/%v, remote %d/%q/%v",
+					i, lp, lv, lok, rp, rv, rok)
+			}
+		case 9:
+			ln := local.Len()
+			rn, err := cl.Len()
+			if err != nil {
+				t.Fatalf("op %d Len: %v", i, err)
+			}
+			if ln != rn {
+				t.Fatalf("op %d Len diverged: local %d, remote %d", i, ln, rn)
+			}
+		}
+	}
+}
+
+// TestConcurrentCallers: many goroutines over a small pool; every call
+// completes and the totals add up.
+func TestConcurrentCallers(t *testing.T) {
+	backend := skipqueue.NewPQ[[]byte]()
+	_, addr := startServer(t, server.Config{Backend: backend})
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: 3, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := cl.Insert(int64(g*perG+i), []byte{byte(g)}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if n := backend.Len(); n != goroutines*perG {
+		t.Fatalf("backend.Len = %d, want %d", n, goroutines*perG)
+	}
+}
+
+// TestValueOwnership: the Value returned by DeleteMin is an owned copy that
+// survives subsequent traffic on the same connection.
+func TestValueOwnership(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Insert(1, []byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(2, bytes.Repeat([]byte{'z'}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	_, v1, _, err := cl.DeleteMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := cl.DeleteMin(); err != nil { // overwrite the read buffer
+		t.Fatal(err)
+	}
+	if string(v1) != "keep-me" {
+		t.Fatalf("first value corrupted by buffer reuse: %q", v1)
+	}
+}

@@ -1,0 +1,35 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// connReader wraps the per-connection buffered reader with the one extra
+// question micro-batching needs: is a complete frame already here, so the
+// batch loop can keep applying without risking a block while responses sit
+// unflushed?
+type connReader struct {
+	*bufio.Reader
+}
+
+func newConnReader(r io.Reader, size int) *connReader {
+	return &connReader{bufio.NewReaderSize(r, size)}
+}
+
+// frameBuffered reports whether the buffer holds at least one complete
+// frame (length prefix plus body). It never blocks. A frame too large to
+// ever fit the buffer reports false; the blocking read path then surfaces
+// the proper ErrFrameTooBig.
+func (r *connReader) frameBuffered() bool {
+	if r.Buffered() < 4 {
+		return false
+	}
+	hdr, err := r.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	return r.Buffered() >= 4+n
+}

@@ -1,0 +1,448 @@
+// Package server implements pqd's network front end: a TCP server that
+// exposes one priority-queue backend over the internal/wire frame protocol.
+//
+// The design follows the lesson of the combining/elimination literature
+// (Calciu et al.): under contention, the win is in amortizing the expensive
+// step over many operations. Here the expensive steps are syscalls and
+// wakeups, and the amortizer is per-connection micro-batching — every frame
+// that has already arrived in a connection's read buffer is applied to the
+// backend in one tight loop and answered with a single write, so one
+// syscall's worth of requests costs one syscall's worth of replies.
+//
+// Pipelining is order-based: a connection's responses are written in
+// exactly the order its requests arrived, so clients need no request IDs.
+//
+// Backpressure has two stages. A connection beyond Config.MaxConns is
+// answered with one BUSY frame and closed (a reject the client can retry
+// against another moment or another server). Within a connection,
+// Config.MaxInflight bounds how many frames are applied before the
+// accumulated replies are flushed, so a client that pipelines without
+// reading cannot make the server buffer unbounded response bytes; the
+// server simply stops reading — TCP flow control pushes back the rest.
+//
+// Shutdown drains rather than drops: the listener closes, frames already
+// read keep their normal replies, every frame arriving during the drain
+// window is answered with SHUTDOWN, and only then do connections close.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipqueue/internal/obs"
+	"skipqueue/internal/wire"
+)
+
+// Backend is the queue surface the server drives. *skipqueue.PQ[[]byte]
+// satisfies it directly, as do the adapters skipqueue.NewLockFreePQ and
+// skipqueue.NewGlobalHeapPQ — any multiset priority queue with these four
+// methods works. Implementations must be safe for concurrent use; the
+// server calls them from one goroutine per connection. Value slices passed
+// to Push are owned by the callee (the server copies them out of its read
+// buffer first).
+type Backend interface {
+	Push(priority int64, value []byte)
+	Pop() (priority int64, value []byte, ok bool)
+	Peek() (priority int64, value []byte, ok bool)
+	Len() int
+}
+
+// Defaults for the zero Config fields.
+const (
+	DefaultMaxConns    = 1024
+	DefaultMaxInflight = 128
+	DefaultDrainWindow = 250 * time.Millisecond
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Server. Backend is required; zero values elsewhere
+// select the defaults above.
+type Config struct {
+	// Backend is the queue served. Required.
+	Backend Backend
+	// MaxConns caps concurrent connections; further connections receive
+	// one BUSY frame and are closed.
+	MaxConns int
+	// MaxInflight caps frames applied per connection between response
+	// flushes (the pipelining window).
+	MaxInflight int
+	// MaxFrame bounds accepted frame size (kind+arg+data bytes).
+	MaxFrame int
+	// DrainWindow is how long Shutdown keeps answering late frames with
+	// SHUTDOWN before closing connections.
+	DrainWindow time.Duration
+	// Metrics enables the observability probes (see docs/OBSERVABILITY.md,
+	// set "skipqueue.server").
+	Metrics bool
+}
+
+// probes are the server's observability hooks, nil without Config.Metrics.
+type probes struct {
+	set *obs.Set
+
+	frames    *obs.Counter // request frames received
+	insert    *obs.Counter // frames by op
+	deleteMin *obs.Counter
+	peek      *obs.Counter
+	length    *obs.Counter
+	ping      *obs.Counter
+	bad       *obs.Counter // malformed or non-request frames
+
+	accepted *obs.Counter // connections admitted
+	closed   *obs.Counter // connections finished
+	rejects  *obs.Counter // backpressure: connections refused with BUSY
+	stalls   *obs.Counter // backpressure: batches cut at MaxInflight
+
+	shutdownReplies *obs.Counter // frames answered SHUTDOWN during drain
+	drainNs         *obs.Counter // total Shutdown drain time, ns
+
+	batch    *obs.Hist // frames per response flush
+	applyLat *obs.Hist // backend apply latency per frame
+}
+
+func newProbes(enabled bool) probes {
+	if !enabled {
+		return probes{}
+	}
+	set := obs.NewSet("skipqueue.server")
+	return probes{
+		set:             set,
+		frames:          set.Counter("frames"),
+		insert:          set.Counter("frames.insert"),
+		deleteMin:       set.Counter("frames.deletemin"),
+		peek:            set.Counter("frames.peek"),
+		length:          set.Counter("frames.len"),
+		ping:            set.Counter("frames.ping"),
+		bad:             set.Counter("frames.bad"),
+		accepted:        set.Counter("conns.accepted"),
+		closed:          set.Counter("conns.closed"),
+		rejects:         set.Counter("backpressure.conn_rejects"),
+		stalls:          set.Counter("backpressure.inflight_stalls"),
+		shutdownReplies: set.Counter("drain.shutdown_replies"),
+		drainNs:         set.Counter("drain.ns"),
+		batch:           set.Values("batch.frames"),
+		applyLat:        set.Durations("frame.apply"),
+	}
+}
+
+// Server serves one Backend over the wire protocol. Construct with New.
+type Server struct {
+	cfg Config
+	obs probes
+
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	connWG sync.WaitGroup
+}
+
+// New returns an unstarted server; call Serve or ListenAndServe.
+// It panics if cfg.Backend is nil — that is a programming error, not a
+// runtime condition.
+func New(cfg Config) *Server {
+	if cfg.Backend == nil {
+		panic("server: Config.Backend is nil")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.DrainWindow <= 0 {
+		cfg.DrainWindow = DefaultDrainWindow
+	}
+	return &Server{
+		cfg:   cfg,
+		obs:   newProbes(cfg.Metrics),
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// Snapshot reads the server's probes (zero Snapshot without Config.Metrics).
+func (s *Server) Snapshot() obs.Snapshot { return s.obs.set.Snapshot() }
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on the TCP address addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It always
+// returns a non-nil error; after a clean shutdown that is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || s.isClosed() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.admit(nc)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// admit registers the connection and starts its handler, or refuses it with
+// a single status frame when the server is draining or at MaxConns.
+func (s *Server) admit(nc net.Conn) {
+	refuse := wire.KindInvalid
+	s.mu.Lock()
+	switch {
+	case s.draining.Load() || s.closed:
+		refuse = wire.StatusShutdown
+	case len(s.conns) >= s.cfg.MaxConns:
+		refuse = wire.StatusBusy
+	default:
+		s.conns[nc] = struct{}{}
+		s.connWG.Add(1)
+	}
+	s.mu.Unlock()
+
+	if refuse != wire.KindInvalid {
+		s.obs.rejects.Inc()
+		go func() {
+			nc.SetWriteDeadline(time.Now().Add(time.Second))
+			if out, err := wire.Append(nil, wire.Frame{Kind: refuse}); err == nil {
+				nc.Write(out)
+			}
+			nc.Close()
+		}()
+		return
+	}
+	s.obs.accepted.Inc()
+	go s.handle(nc)
+}
+
+// connBufSize sizes the per-connection read buffer; it is also the upper
+// bound on how many request bytes one micro-batch can drain.
+const connBufSize = 64 << 10
+
+func (s *Server) handle(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.obs.closed.Inc()
+		s.connWG.Done()
+	}()
+
+	br := newConnReader(nc, connBufSize)
+	var rbuf []byte // wire.Read scratch; frame Data aliases it
+	var out []byte  // accumulated response frames, one Write per batch
+	metered := s.obs.set.Enabled()
+
+	for {
+		f, rb, err := wire.Read(br, rbuf, s.cfg.MaxFrame)
+		rbuf = rb
+		if err != nil {
+			// Framing violations get a parting ERR frame; transport errors
+			// (EOF, reset, drain-deadline timeouts) just end the handler.
+			if errors.Is(err, wire.ErrFrameTooBig) || errors.Is(err, wire.ErrShortFrame) || errors.Is(err, wire.ErrBadKind) {
+				s.obs.bad.Inc()
+				nc.SetWriteDeadline(time.Now().Add(time.Second))
+				if msg, aerr := wire.Append(nil, wire.Frame{Kind: wire.StatusErr, Data: []byte(err.Error())}); aerr == nil {
+					nc.Write(msg)
+				}
+			}
+			return
+		}
+
+		out = out[:0]
+		batch := 0
+		for {
+			out = s.apply(f, out, metered)
+			batch++
+			if batch >= s.cfg.MaxInflight {
+				s.obs.stalls.Inc()
+				break
+			}
+			if !br.frameBuffered() {
+				break
+			}
+			f, rb, err = wire.Read(br, rbuf, s.cfg.MaxFrame)
+			rbuf = rb
+			if err != nil {
+				// The buffered bytes turned out malformed; answer what we
+				// have, then let the top of the loop re-hit the error path
+				// on the next read.
+				break
+			}
+		}
+		s.obs.batch.ObserveN(uint64(batch))
+		nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, werr := nc.Write(out); werr != nil {
+			return
+		}
+	}
+}
+
+// apply executes one request frame against the backend and appends the
+// response frame to out. During a drain every request is answered SHUTDOWN
+// without touching the backend.
+func (s *Server) apply(f wire.Frame, out []byte, metered bool) []byte {
+	s.obs.frames.Inc()
+	if s.draining.Load() {
+		s.obs.shutdownReplies.Inc()
+		out, _ = wire.Append(out, wire.Frame{Kind: wire.StatusShutdown})
+		return out
+	}
+	var t0 time.Time
+	if metered {
+		t0 = time.Now()
+	}
+	var resp wire.Frame
+	switch f.Kind {
+	case wire.OpInsert:
+		s.obs.insert.Inc()
+		// f.Data aliases the connection read buffer; the backend keeps the
+		// value, so it gets its own copy.
+		v := make([]byte, len(f.Data))
+		copy(v, f.Data)
+		s.cfg.Backend.Push(f.Arg, v)
+		resp = wire.Frame{Kind: wire.StatusOK}
+	case wire.OpDeleteMin:
+		s.obs.deleteMin.Inc()
+		if p, v, ok := s.cfg.Backend.Pop(); ok {
+			resp = wire.Frame{Kind: wire.StatusOK, Arg: p, Data: v}
+		} else {
+			resp = wire.Frame{Kind: wire.StatusEmpty}
+		}
+	case wire.OpPeek:
+		s.obs.peek.Inc()
+		if p, v, ok := s.cfg.Backend.Peek(); ok {
+			resp = wire.Frame{Kind: wire.StatusOK, Arg: p, Data: v}
+		} else {
+			resp = wire.Frame{Kind: wire.StatusEmpty}
+		}
+	case wire.OpLen:
+		s.obs.length.Inc()
+		resp = wire.Frame{Kind: wire.StatusOK, Arg: int64(s.cfg.Backend.Len())}
+	case wire.OpPing:
+		s.obs.ping.Inc()
+		resp = wire.Frame{Kind: wire.StatusOK}
+	default:
+		s.obs.bad.Inc()
+		resp = wire.Frame{Kind: wire.StatusErr, Data: []byte("not a request: " + f.Kind.String())}
+	}
+	s.obs.applyLat.Since(t0)
+	out, _ = wire.Append(out, resp)
+	return out
+}
+
+// Shutdown drains the server: it stops accepting, keeps normal replies for
+// frames already read, answers everything arriving within DrainWindow with
+// SHUTDOWN, then closes all connections and waits for their handlers. The
+// context bounds the total wait; on expiry connections are force-closed and
+// ctx.Err() is returned. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	t0 := time.Now()
+	if s.draining.Swap(true) {
+		// A concurrent Shutdown is already draining; just wait it out.
+		return s.waitConns(ctx)
+	}
+
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	window := s.cfg.DrainWindow
+	if dl, ok := ctx.Deadline(); ok {
+		if w := time.Until(dl) / 2; w < window {
+			window = w
+		}
+	}
+	// Wake handlers blocked in Read once the window elapses. Frames that
+	// arrive before the deadline still get their SHUTDOWN replies.
+	deadline := time.Now().Add(window)
+	for nc := range s.conns {
+		nc.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	err := s.waitConns(ctx)
+	s.obs.drainNs.Add(uint64(time.Since(t0)))
+	return err
+}
+
+func (s *Server) waitConns(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.finishClose()
+		return nil
+	case <-ctx.Done():
+		s.finishClose()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// finishClose force-closes whatever is still open and marks the server
+// closed.
+func (s *Server) finishClose() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+}
+
+// Close shuts the server down immediately: no drain window, in-flight
+// frames may go unanswered. Prefer Shutdown.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.finishClose()
+	s.connWG.Wait()
+	return nil
+}

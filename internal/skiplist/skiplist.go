@@ -20,6 +20,7 @@
 package skiplist
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -232,6 +233,7 @@ func (l *List[K, V]) Set(key K, value V) bool {
 		t0 = time.Now()
 	}
 	saved := make([]*node[K, V], l.maxLevel)
+retry:
 	l.search(key, saved)
 
 	node1 := l.getLock(saved[0], key, 0)
@@ -241,6 +243,19 @@ func (l *List[K, V]) Set(key K, value V) bool {
 	}
 	node2 := node1.links[0].next.Load()
 	if node2 != l.tail && node2.key == key {
+		if node2.value.Load() == nil {
+			// The node was claimed by a concurrent Delete (its value was
+			// swapped to nil under this same predecessor lock) and is being
+			// unlinked right now. Storing into it would resurrect it: a
+			// second Delete could then claim it again and, after the first
+			// unlink completes, spin forever trying to unlink a node no
+			// longer reachable at any level. Let the deleter finish and
+			// redo the operation from the search.
+			node1.links[0].mu.Unlock()
+			l.obs.lockRetries.Add(1)
+			runtime.Gosched()
+			goto retry
+		}
 		node2.value.Store(&value)
 		node1.links[0].mu.Unlock()
 		l.obs.lockHold.Since(hold0)
@@ -317,6 +332,17 @@ func (l *List[K, V]) Delete(key K) (V, bool) {
 	return *vp, true
 }
 
+// victimYieldEvery bounds the busy retries of getLockVictim: after this
+// many restarts from the head the goroutine yields the processor. The
+// restart loop makes progress only when a concurrent deleter advances, so
+// an unbounded spin can livelock — two deleters chasing each other's
+// backward pointers can occupy every processor the scheduler will give
+// them (reliably reproducible under the race detector, which serializes
+// goroutines enough that the spinning deleter starves the one it is
+// waiting on). Yielding hands the processor to that deleter; eight
+// restarts is far beyond what a successful chase needs.
+const victimYieldEvery = 8
+
 // getLockVictim locks the immediate level-i predecessor of victim,
 // identified by pointer.
 func (l *List[K, V]) getLockVictim(start, victim *node[K, V], level int) *node[K, V] {
@@ -327,11 +353,16 @@ func (l *List[K, V]) getLockVictim(start, victim *node[K, V], level int) *node[K
 		node2 = node1.links[level].next.Load()
 	}
 	node1.links[level].mu.Lock()
+	restarts := 0
 	for node1.links[level].next.Load() != victim {
 		l.obs.lockRetries.Add(1)
 		node2 = node1.links[level].next.Load()
 		if node2 == l.tail || victim.key < node2.key {
 			node1.links[level].mu.Unlock()
+			restarts++
+			if restarts%victimYieldEvery == 0 {
+				runtime.Gosched()
+			}
 			node1 = l.head
 			node1.links[level].mu.Lock()
 			continue

@@ -1,0 +1,209 @@
+// Package wire defines the frame protocol spoken between pqd (the
+// priority-queue daemon, internal/server) and its clients
+// (internal/client). It is a length-prefixed binary protocol designed for
+// pipelining: a client may write any number of request frames before
+// reading a reply, and the server answers frames strictly in the order it
+// received them on that connection, so no request IDs are needed.
+//
+// Every frame — request or response — has the same fixed shape:
+//
+//	uint32  length   big-endian, length of kind+arg+data (9..MaxFrame)
+//	uint8   kind     operation (requests) or status (responses)
+//	int64   arg      big-endian; priority, count, or zero
+//	bytes   data     element value, or error text; may be empty
+//
+// The uniform 9-byte body header keeps parsing context-free: a frame can
+// be decoded without knowing which request it answers. The cost is eight
+// unused bytes on argless frames (Ping, Len requests, Insert acks), which
+// is noise next to the syscall batching the server and client both do.
+//
+// Decoding never panics on hostile input: oversized frames return
+// ErrFrameTooBig, short bodies ErrShortFrame, unknown kind bytes
+// ErrBadKind, and a connection that ends mid-frame io.ErrUnexpectedEOF.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind is the frame discriminator: an op code on request frames, a status
+// code on response frames. Requests have the high bit clear, responses set.
+type Kind byte
+
+const (
+	// KindInvalid is the zero Kind; it never appears on the wire.
+	KindInvalid Kind = 0x00
+
+	// OpInsert adds an element: arg is the priority, data the value.
+	OpInsert Kind = 0x01
+	// OpDeleteMin removes and returns the minimum element.
+	OpDeleteMin Kind = 0x02
+	// OpPeek returns the minimum element without removing it.
+	OpPeek Kind = 0x03
+	// OpLen returns the element count.
+	OpLen Kind = 0x04
+	// OpPing is a no-op round trip (health checks, latency probes).
+	OpPing Kind = 0x05
+
+	// StatusOK answers a successful request. For DeleteMin/Peek arg is the
+	// priority and data the value; for Len arg is the count; for
+	// Insert/Ping both are empty.
+	StatusOK Kind = 0x80
+	// StatusEmpty answers DeleteMin/Peek on an empty queue.
+	StatusEmpty Kind = 0x81
+	// StatusBusy is the backpressure rejection: the server is over its
+	// connection or in-flight budget. The request was not applied; the
+	// client may retry.
+	StatusBusy Kind = 0x82
+	// StatusShutdown answers every request received after a drain began.
+	// The request was not applied; the server is going away.
+	StatusShutdown Kind = 0x83
+	// StatusErr reports a malformed or unsupported request; data holds a
+	// human-readable message. The connection stays usable.
+	StatusErr Kind = 0x84
+)
+
+// IsRequest reports whether k is a client-to-server op.
+func (k Kind) IsRequest() bool { return k >= OpInsert && k <= OpPing }
+
+// IsResponse reports whether k is a server-to-client status.
+func (k Kind) IsResponse() bool { return k >= StatusOK && k <= StatusErr }
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case OpInsert:
+		return "Insert"
+	case OpDeleteMin:
+		return "DeleteMin"
+	case OpPeek:
+		return "Peek"
+	case OpLen:
+		return "Len"
+	case OpPing:
+		return "Ping"
+	case StatusOK:
+		return "OK"
+	case StatusEmpty:
+		return "EMPTY"
+	case StatusBusy:
+		return "BUSY"
+	case StatusShutdown:
+		return "SHUTDOWN"
+	case StatusErr:
+		return "ERR"
+	}
+	return fmt.Sprintf("Kind(0x%02x)", byte(k))
+}
+
+const (
+	// headerSize is the body header: 1 kind byte + 8 arg bytes.
+	headerSize = 1 + 8
+	// lenSize is the frame length prefix.
+	lenSize = 4
+
+	// DefaultMaxFrame bounds kind+arg+data of one frame (1 MiB). Both ends
+	// enforce it on receive so a corrupt or hostile length prefix cannot
+	// force an arbitrary allocation.
+	DefaultMaxFrame = 1 << 20
+
+	// MaxData is the largest value payload a DefaultMaxFrame frame carries.
+	MaxData = DefaultMaxFrame - headerSize
+)
+
+// Typed decode errors. They are sticky protocol errors: after any of these
+// the stream framing cannot be trusted and the connection should be closed
+// (StatusErr responses exist for semantic errors on well-framed input).
+var (
+	// ErrFrameTooBig means a length prefix exceeded the frame budget.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	// ErrShortFrame means a frame body was shorter than its 9-byte header.
+	ErrShortFrame = errors.New("wire: frame shorter than header")
+	// ErrBadKind means the kind byte is not a defined op or status.
+	ErrBadKind = errors.New("wire: unknown frame kind")
+)
+
+// Frame is one decoded protocol frame. Data aliases the decode buffer; a
+// caller that retains it across the next Read must copy.
+type Frame struct {
+	Kind Kind
+	Arg  int64
+	Data []byte
+}
+
+// Append encodes f and appends the encoded frame to dst, returning the
+// extended slice. It fails with ErrFrameTooBig when Data exceeds MaxData
+// and ErrBadKind on a Kind that is neither request nor response.
+func Append(dst []byte, f Frame) ([]byte, error) {
+	if !f.Kind.IsRequest() && !f.Kind.IsResponse() {
+		return dst, fmt.Errorf("%w: 0x%02x", ErrBadKind, byte(f.Kind))
+	}
+	if len(f.Data) > MaxData {
+		return dst, fmt.Errorf("%w: %d byte payload", ErrFrameTooBig, len(f.Data))
+	}
+	body := headerSize + len(f.Data)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Arg))
+	return append(dst, f.Data...), nil
+}
+
+// Decode parses one frame body (the bytes after the length prefix).
+// The returned Frame's Data aliases body.
+func Decode(body []byte) (Frame, error) {
+	if len(body) < headerSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(body))
+	}
+	k := Kind(body[0])
+	if !k.IsRequest() && !k.IsResponse() {
+		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrBadKind, body[0])
+	}
+	return Frame{
+		Kind: k,
+		Arg:  int64(binary.BigEndian.Uint64(body[1:headerSize])),
+		Data: body[headerSize:],
+	}, nil
+}
+
+// Read reads and decodes one frame from r. buf is an optional reusable
+// scratch buffer; the returned Frame's Data aliases the (possibly grown)
+// buffer, which is returned for reuse on the next call. maxFrame bounds the
+// accepted body size (<= 0 selects DefaultMaxFrame).
+//
+// Errors: io.EOF when the stream ends cleanly between frames,
+// io.ErrUnexpectedEOF when it ends mid-frame, ErrFrameTooBig/ErrShortFrame/
+// ErrBadKind on framing violations, and any transport error otherwise.
+func Read(r io.Reader, buf []byte, maxFrame int) (Frame, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, buf, io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return Frame{}, buf, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, maxFrame)
+	}
+	if n < headerSize {
+		return Frame{}, buf, fmt.Errorf("%w: %d bytes", ErrShortFrame, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n, max(n, 512))
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, buf, io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	f, err := Decode(buf)
+	return f, buf, err
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRoundTrip: every kind survives Append -> Read unchanged, including
+// extreme args and empty/large payloads.
+func TestRoundTrip(t *testing.T) {
+	kinds := []Kind{OpInsert, OpDeleteMin, OpPeek, OpLen, OpPing,
+		StatusOK, StatusEmpty, StatusBusy, StatusShutdown, StatusErr}
+	args := []int64{0, 1, -1, 42, math.MinInt64, math.MaxInt64}
+	payloads := [][]byte{nil, {}, []byte("v"), bytes.Repeat([]byte{0xab}, 4096)}
+	var enc []byte
+	var want []Frame
+	for _, k := range kinds {
+		for _, a := range args {
+			for _, p := range payloads {
+				f := Frame{Kind: k, Arg: a, Data: p}
+				var err error
+				enc, err = Append(enc, f)
+				if err != nil {
+					t.Fatalf("Append(%v): %v", f.Kind, err)
+				}
+				want = append(want, f)
+			}
+		}
+	}
+	r := bytes.NewReader(enc)
+	var buf []byte
+	for i, w := range want {
+		var got Frame
+		var err error
+		got, buf, err = Read(r, buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: Read: %v", i, err)
+		}
+		if got.Kind != w.Kind || got.Arg != w.Arg || !bytes.Equal(got.Data, w.Data) {
+			t.Fatalf("frame %d: got %v/%d/%dB, want %v/%d/%dB",
+				i, got.Kind, got.Arg, len(got.Data), w.Kind, w.Arg, len(w.Data))
+		}
+	}
+	if _, _, err := Read(r, buf, 0); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestAppendRejects: oversized payloads and undefined kinds fail typed, and
+// leave dst untouched.
+func TestAppendRejects(t *testing.T) {
+	dst := []byte("prefix")
+	out, err := Append(dst, Frame{Kind: OpInsert, Data: make([]byte, MaxData+1)})
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized payload: err = %v, want ErrFrameTooBig", err)
+	}
+	if !bytes.Equal(out, dst) {
+		t.Fatal("failed Append modified dst")
+	}
+	for _, k := range []Kind{KindInvalid, 0x06, 0x7f, 0x85, 0xff} {
+		if _, err := Append(nil, Frame{Kind: k}); !errors.Is(err, ErrBadKind) {
+			t.Fatalf("kind 0x%02x: err = %v, want ErrBadKind", byte(k), err)
+		}
+	}
+	// MaxData itself is accepted.
+	if _, err := Append(nil, Frame{Kind: OpInsert, Data: make([]byte, MaxData)}); err != nil {
+		t.Fatalf("MaxData payload: %v", err)
+	}
+}
+
+// TestReadFrameTooBig: a length prefix over the limit is rejected before any
+// allocation of that size.
+func TestReadFrameTooBig(t *testing.T) {
+	var enc []byte
+	enc = binary.BigEndian.AppendUint32(enc, uint32(DefaultMaxFrame+1))
+	enc = append(enc, make([]byte, 64)...)
+	if _, _, err := Read(bytes.NewReader(enc), nil, 0); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+	// A tighter custom limit applies too.
+	enc = enc[:0]
+	enc = binary.BigEndian.AppendUint32(enc, 1024)
+	enc = append(enc, make([]byte, 1024)...)
+	if _, _, err := Read(bytes.NewReader(enc), nil, 128); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("custom limit: err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+// TestReadShortAndBadKind: bodies shorter than the header and unknown kind
+// bytes are typed errors, never panics.
+func TestReadShortAndBadKind(t *testing.T) {
+	var enc []byte
+	enc = binary.BigEndian.AppendUint32(enc, 3) // < headerSize
+	enc = append(enc, 1, 2, 3)
+	if _, _, err := Read(bytes.NewReader(enc), nil, 0); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short body: err = %v, want ErrShortFrame", err)
+	}
+
+	good, err := Append(nil, Frame{Kind: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good[lenSize] = 0x7e // corrupt the kind byte
+	if _, _, err := Read(bytes.NewReader(good), nil, 0); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("bad kind: err = %v, want ErrBadKind", err)
+	}
+
+	if _, err := Decode(nil); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("Decode(nil): err = %v, want ErrShortFrame", err)
+	}
+}
+
+// TestReadTruncated: a stream that ends anywhere inside a frame reports
+// io.ErrUnexpectedEOF; only a clean boundary reports io.EOF.
+func TestReadTruncated(t *testing.T) {
+	full, err := Append(nil, Frame{Kind: OpInsert, Arg: 7, Data: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := Read(bytes.NewReader(full[:cut]), nil, 0)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d/%d: err = %v, want io.ErrUnexpectedEOF", cut, len(full), err)
+		}
+	}
+	if _, _, err := Read(bytes.NewReader(nil), nil, 0); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadRandomGarbage: decoding random byte soup returns an error or a
+// valid frame — it must never panic and never read past the claimed length.
+func TestReadRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		junk := make([]byte, n)
+		rng.Read(junk)
+		f, _, err := Read(bytes.NewReader(junk), nil, 0)
+		if err == nil && !f.Kind.IsRequest() && !f.Kind.IsResponse() {
+			t.Fatalf("junk decoded to invalid kind %v", f.Kind)
+		}
+	}
+}
+
+// TestBufferReuse: the scratch buffer grows once and is reused; Data aliases
+// it, so the previous frame's Data is invalidated by the next Read.
+func TestBufferReuse(t *testing.T) {
+	var enc []byte
+	var err error
+	enc, err = Append(enc, Frame{Kind: OpInsert, Arg: 1, Data: bytes.Repeat([]byte{'a'}, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err = Append(enc, Frame{Kind: OpInsert, Arg: 2, Data: bytes.Repeat([]byte{'b'}, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(enc)
+	f1, buf, err := Read(r, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := append([]byte(nil), f1.Data...)
+	f2, _, err := Read(r, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(keep, bytes.Repeat([]byte{'a'}, 100)) {
+		t.Fatal("copied first payload corrupted")
+	}
+	if !bytes.Equal(f2.Data, bytes.Repeat([]byte{'b'}, 50)) {
+		t.Fatal("second payload wrong after buffer reuse")
+	}
+}
+
+// FuzzRead feeds arbitrary bytes through the frame reader; any outcome but a
+// panic or an over-budget allocation is acceptable.
+func FuzzRead(f *testing.F) {
+	seed, _ := Append(nil, Frame{Kind: OpInsert, Arg: -9, Data: []byte("x")})
+	f.Add(seed)
+	f.Add([]byte{0, 0, 0, 9, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		r := bytes.NewReader(in)
+		var buf []byte
+		for {
+			var err error
+			_, buf, err = Read(r, buf, 4096)
+			if err != nil {
+				break
+			}
+		}
+	})
+}

@@ -17,6 +17,10 @@ import (
 // PQ is a thin layer over Queue: each pushed element gets a unique composite
 // key of (priority, global sequence number), encoded so that composite keys
 // order first by priority, then by arrival.
+//
+// A *PQ[[]byte] satisfies internal/server.Backend, so it can be handed
+// directly to the pqd network daemon (cmd/pqd); LockFreePQ and GlobalHeapPQ
+// adapt the other queue families to the same surface.
 type PQ[V any] struct {
 	q   *core.Queue[string, V]
 	seq atomic.Uint64

@@ -1,0 +1,119 @@
+package skipqueue
+
+import (
+	"sync/atomic"
+
+	"skipqueue/internal/glheap"
+	"skipqueue/internal/lockfree"
+)
+
+// This file adapts the queue families that have map (unique-key) semantics
+// to the multiset Push/Pop/Peek/Len surface that PQ offers and that the
+// pqd server subsystem (internal/server.Backend) consumes. The adapters
+// reuse PQ's composite-key trick: each pushed element gets a (priority,
+// global sequence) key, so duplicate priorities coexist and are delivered
+// FIFO within a priority.
+//
+// *PQ[[]byte], *LockFreePQ[[]byte] and *GlobalHeapPQ[[]byte] all satisfy
+// internal/server.Backend directly; cmd/pqd selects between them with its
+// -backend flag.
+
+// LockFreePQ is the multiset layer over LockFree, the CAS-based skiplist
+// queue: PQ's semantics (duplicate priorities, FIFO within a priority) with
+// LockFree's progress guarantee. Construct with NewLockFreePQ. All methods
+// are safe for concurrent use.
+type LockFreePQ[V any] struct {
+	q   *lockfree.Queue[string, V]
+	seq atomic.Uint64
+}
+
+// NewLockFreePQ returns an empty lock-free multiset priority queue. It
+// accepts the same options as NewLockFree.
+func NewLockFreePQ[V any](opts ...Option) *LockFreePQ[V] {
+	inner := NewLockFree[string, V](opts...)
+	return &LockFreePQ[V]{q: inner.q}
+}
+
+// Push adds value with the given priority. Duplicate priorities are fine.
+func (pq *LockFreePQ[V]) Push(priority int64, value V) {
+	pq.q.Insert(pqKey(priority, pq.seq.Add(1)), value)
+}
+
+// Pop removes and returns an element with the minimum priority; earliest
+// pushed wins among equals. ok is false when the queue is empty.
+func (pq *LockFreePQ[V]) Pop() (priority int64, value V, ok bool) {
+	k, v, ok := pq.q.DeleteMin()
+	if !ok {
+		return 0, value, false
+	}
+	return pqPriority(k), v, true
+}
+
+// Peek returns the minimum-priority element without removing it (advisory
+// under concurrency).
+func (pq *LockFreePQ[V]) Peek() (priority int64, value V, ok bool) {
+	k, v, ok := pq.q.PeekMin()
+	if !ok {
+		return 0, value, false
+	}
+	return pqPriority(k), v, true
+}
+
+// Len returns the number of elements (snapshot).
+func (pq *LockFreePQ[V]) Len() int { return pq.q.Len() }
+
+// Snapshot reads the underlying queue's observability probes.
+func (pq *LockFreePQ[V]) Snapshot() Snapshot { return pq.q.ObsSnapshot() }
+
+// GlobalHeapPQ is the multiset layer over GlobalLockHeap, the single-lock
+// binary heap baseline. It exists so pqd can serve the naive baseline for
+// apples-to-apples load tests. Construct with NewGlobalHeapPQ. All methods
+// are safe for concurrent use.
+type GlobalHeapPQ[V any] struct {
+	h   *glheap.Heap[string, V]
+	seq atomic.Uint64
+}
+
+// NewGlobalHeapPQ returns an empty single-lock multiset priority queue. Of
+// the options only WithMetrics applies.
+func NewGlobalHeapPQ[V any](opts ...Option) *GlobalHeapPQ[V] {
+	h := glheap.New[string, V]()
+	if baselineMetrics(opts) {
+		h.EnableMetrics()
+	}
+	return &GlobalHeapPQ[V]{h: h}
+}
+
+// Push adds value with the given priority.
+func (pq *GlobalHeapPQ[V]) Push(priority int64, value V) {
+	pq.h.Insert(pqKey(priority, pq.seq.Add(1)), value)
+}
+
+// Pop removes and returns an element with the minimum priority.
+func (pq *GlobalHeapPQ[V]) Pop() (priority int64, value V, ok bool) {
+	k, v, ok := pq.h.DeleteMin()
+	if !ok {
+		return 0, value, false
+	}
+	return pqPriority(k), v, true
+}
+
+// Peek returns the minimum-priority element without removing it.
+func (pq *GlobalHeapPQ[V]) Peek() (priority int64, value V, ok bool) {
+	k, v, ok := pq.h.PeekMin()
+	if !ok {
+		return 0, value, false
+	}
+	return pqPriority(k), v, true
+}
+
+// Len returns the number of elements.
+func (pq *GlobalHeapPQ[V]) Len() int { return pq.h.Len() }
+
+// Snapshot reads the underlying heap's observability probes.
+func (pq *GlobalHeapPQ[V]) Snapshot() Snapshot { return pq.h.ObsSnapshot() }
+
+var (
+	_ Instrumented = (*LockFreePQ[int])(nil)
+	_ Instrumented = (*GlobalHeapPQ[int])(nil)
+)
