@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-smoke check experiments verify pqd loadtest
+.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest
 
 all: build test
 
@@ -24,11 +24,28 @@ check: vet test
 	$(MAKE) bench-smoke
 
 # Short metrics-on pass over the native queues: exercises every probe site
-# and prints the snapshot tables. Also runs a short loopback pass of the
-# network daemon, leaving its latency report in BENCH_server.json.
+# and prints the snapshot tables. Also records the sharded-vs-strict head-to-
+# head at 8 goroutines (BENCH_sharded.txt) and runs a short loopback pass of
+# the network daemon, leaving its latency report in BENCH_server.json.
 bench-smoke:
 	go run ./cmd/skipbench -metrics -metrics-duration 200ms
+	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Sharded | tee BENCH_sharded.txt
 	$(MAKE) loadtest LOADTEST_DURATION=2s
+
+BENCH_TOLERANCE ?= 0.30
+
+# Regression guard: rerun the recorded benchmarks and fail loudly if
+# throughput dropped more than BENCH_TOLERANCE against the committed
+# baselines. The server macro-benchmark reruns a short loadtest into a
+# scratch file (the committed BENCH_server.json is left untouched); the
+# native micro-benchmarks are rerun by cmd/benchcheck itself from the
+# names recorded in BENCH_baseline.json.
+bench-check:
+	$(MAKE) loadtest LOADTEST_DURATION=5s LOADTEST_OUT=.bench_server_fresh.json
+	go run ./cmd/benchcheck -tolerance $(BENCH_TOLERANCE) \
+		-server-baseline BENCH_server.json -server-fresh .bench_server_fresh.json \
+		-native-baseline BENCH_baseline.json
+	rm -f .bench_server_fresh.json
 
 # Build the network daemon and its load generator into bin/.
 pqd:
@@ -36,6 +53,7 @@ pqd:
 	go build -o bin/pqload ./cmd/pqload
 
 LOADTEST_DURATION ?= 10s
+LOADTEST_OUT ?= BENCH_server.json
 
 # Loopback smoke test of the daemon: start pqd on an ephemeral port, drive
 # it with the closed-loop load generator (report lands in BENCH_server.json),
@@ -49,7 +67,7 @@ loadtest: pqd
 	  [ -n "$$addr" ] && break; sleep 0.1; \
 	done; \
 	if [ -z "$$addr" ]; then echo "pqd never announced an address:"; cat .pqd.out; kill $$pid 2>/dev/null; exit 1; fi; \
-	rc=0; ./bin/pqload -addr $$addr -duration $(LOADTEST_DURATION) -out BENCH_server.json || rc=$$?; \
+	rc=0; ./bin/pqload -addr $$addr -duration $(LOADTEST_DURATION) -out $(LOADTEST_OUT) || rc=$$?; \
 	kill -TERM $$pid; wait $$pid || rc=$$?; \
 	cat .pqd.out; rm -f .pqd.out; exit $$rc
 

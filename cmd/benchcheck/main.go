@@ -1,0 +1,193 @@
+// Command benchcheck is the bench regression guard behind `make
+// bench-check`: it compares fresh benchmark results against the recorded
+// baselines and exits non-zero — loudly — when throughput regressed by
+// more than the tolerance.
+//
+// Two comparisons, each optional:
+//
+//   - Server macro-benchmark: -server-baseline (the committed
+//     BENCH_server.json) against -server-fresh (a file just written by
+//     cmd/pqload). The compared figure is throughput_ops_per_s; fresh
+//     below (1-tolerance)×baseline fails.
+//
+//   - Native micro-benchmarks: -native-baseline (the committed
+//     BENCH_baseline.json). benchcheck reruns each benchmark recorded in
+//     the baseline via `go test -bench` and compares median ns/op; fresh
+//     above (1+tolerance)×baseline fails (more ns per op = less
+//     throughput).
+//
+// The default tolerance is deliberately wide (30%): the guard exists to
+// catch structural regressions — an accidental O(n) scan, a lost fast
+// path — not scheduler noise on a shared box.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type serverReport struct {
+	Throughput float64 `json:"throughput_ops_per_s"`
+	Ops        uint64  `json:"ops"`
+	Errors     uint64  `json:"errors"`
+}
+
+type nativeBaseline struct {
+	Command    string                   `json:"command"`
+	Benchmarks map[string]nativeRecord  `json:"benchmarks"`
+	Micro      map[string]json.RawMessage `json:"micro"`
+}
+
+type nativeRecord struct {
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// benchLine matches `BenchmarkName-4  12345  678.9 ns/op ...`, capturing
+// the name (GOMAXPROCS suffix stripped) and the ns/op figure.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func main() {
+	var (
+		tolerance      = flag.Float64("tolerance", 0.30, "allowed relative regression before failing")
+		serverBaseline = flag.String("server-baseline", "", "committed pqload report (BENCH_server.json)")
+		serverFresh    = flag.String("server-fresh", "", "fresh pqload report to compare against -server-baseline")
+		nativeBase     = flag.String("native-baseline", "", "committed go-test bench medians (BENCH_baseline.json); reruns and compares")
+		benchTime      = flag.String("benchtime", "0.5s", "benchtime for the native rerun")
+		count          = flag.Int("count", 5, "repetitions for the native rerun (median is compared)")
+	)
+	flag.Parse()
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: "+format+"\n", args...)
+	}
+
+	if *serverBaseline != "" && *serverFresh != "" {
+		var base, fresh serverReport
+		if err := readJSON(*serverBaseline, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if err := readJSON(*serverFresh, &fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		floor := base.Throughput * (1 - *tolerance)
+		status := "ok"
+		if fresh.Throughput < floor {
+			fail("server throughput %.0f ops/s is below %.0f (baseline %.0f, tolerance %.0f%%)",
+				fresh.Throughput, floor, base.Throughput, *tolerance*100)
+			status = "FAIL"
+		}
+		fmt.Printf("server  %-34s baseline %12.0f fresh %12.0f  %s\n",
+			"throughput_ops_per_s", base.Throughput, fresh.Throughput, status)
+		if fresh.Errors > 0 {
+			fail("fresh server run reported %d errors", fresh.Errors)
+		}
+	}
+
+	if *nativeBase != "" {
+		var base nativeBaseline
+		if err := readJSON(*nativeBase, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(base.Benchmarks))
+		re := ""
+		for name := range base.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			// Benchmark names in the baseline may carry sub-bench paths
+			// (BenchmarkSkipQueue/MetricsOff); the -bench regex matches on
+			// the top-level function name.
+			top := name
+			for j := 0; j < len(name); j++ {
+				if name[j] == '/' {
+					top = name[:j]
+					break
+				}
+			}
+			if i > 0 {
+				re += "|"
+			}
+			re += "^" + top + "$"
+		}
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", re,
+			"-benchtime", *benchTime, "-count", strconv.Itoa(*count), ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: native rerun failed: %v\n%s", err, out)
+			os.Exit(2)
+		}
+		samples := map[string][]float64{}
+		for _, m := range benchLine.FindAllStringSubmatch(string(out), -1) {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			samples[m[1]] = append(samples[m[1]], ns)
+		}
+		for _, name := range names {
+			got, ok := samples["Benchmark"+trimBenchmark(name)]
+			if !ok {
+				got = samples[name]
+			}
+			if len(got) == 0 {
+				fail("benchmark %q recorded in the baseline did not run (regex %q)", name, re)
+				continue
+			}
+			fresh := median(got)
+			baseMed := base.Benchmarks[name].MedianNsPerOp
+			ceil := baseMed * (1 + *tolerance)
+			status := "ok"
+			if fresh > ceil {
+				fail("%s: %.1f ns/op is above %.1f (baseline %.1f, tolerance %.0f%%)",
+					name, fresh, ceil, baseMed, *tolerance*100)
+				status = "FAIL"
+			}
+			fmt.Printf("native  %-34s baseline %9.1f ns fresh %9.1f ns  %s\n", name, baseMed, fresh, status)
+		}
+	}
+
+	if *serverBaseline == "" && *nativeBase == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to compare (see -server-baseline/-server-fresh and -native-baseline)")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAILED — throughput regressed beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// trimBenchmark strips the "Benchmark" prefix if present so baseline keys
+// written either way resolve against parsed output keys.
+func trimBenchmark(name string) string {
+	const p = "Benchmark"
+	if len(name) >= len(p) && name[:len(p)] == p {
+		return name[len(p):]
+	}
+	return name
+}

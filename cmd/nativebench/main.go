@@ -73,9 +73,23 @@ type funnelQ struct {
 func (s funnelQ) insert(k int64)  { s.q.Insert(k, k) }
 func (s funnelQ) deleteMin() bool { _, _, ok := s.q.DeleteMin(); return ok }
 
+type strictPQ struct {
+	q *skipqueue.PQ[int64]
+}
+
+func (s strictPQ) insert(k int64)  { s.q.Push(k, k) }
+func (s strictPQ) deleteMin() bool { _, _, ok := s.q.Pop(); return ok }
+
+type shardedQ struct {
+	q *skipqueue.ShardedPQ[int64]
+}
+
+func (s shardedQ) insert(k int64)  { s.q.Push(k, k) }
+func (s shardedQ) deleteMin() bool { _, _, ok := s.q.Pop(); return ok }
+
 // build constructs a structure by name. The second result exposes the
 // structure's observability probes (zero-valued unless metrics is set).
-func build(name string, capacity int, metrics bool) (queue, skipqueue.Instrumented, bool) {
+func build(name string, capacity, shards int, metrics bool) (queue, skipqueue.Instrumented, bool) {
 	opts := []skipqueue.Option{skipqueue.WithSeed(1)}
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
@@ -99,6 +113,12 @@ func build(name string, capacity int, metrics bool) (queue, skipqueue.Instrument
 	case "GlobalLock":
 		q := skipqueue.NewGlobalLockHeap[int64, int64](opts...)
 		return glQ{q}, q, true
+	case "StrictPQ":
+		q := skipqueue.NewPQ[int64](opts...)
+		return strictPQ{q}, q, true
+	case "Sharded":
+		q := skipqueue.NewShardedPQ[int64](shards, opts...)
+		return shardedQ{q}, q, true
 	}
 	return nil, nil, false
 }
@@ -109,8 +129,9 @@ func main() {
 		duration   = flag.Duration("duration", 2*time.Second, "measurement duration per structure")
 		initial    = flag.Int("initial", 1000, "initial queue size")
 		ratio      = flag.Float64("ratio", 0.5, "insert ratio")
-		structures = flag.String("structures", "SkipQueue,Relaxed,LockFree,Heap,FunnelList,GlobalLock", "comma-separated structures")
+		structures = flag.String("structures", "SkipQueue,Relaxed,LockFree,Heap,FunnelList,GlobalLock,Sharded", "comma-separated structures")
 		seed       = flag.Uint64("seed", 1, "workload seed")
+		shards     = flag.Int("shards", 0, "shard count for the Sharded structure (0 = two per GOMAXPROCS)")
 		metrics    = flag.Bool("metrics", false, "enable the queues' internal probes and print a snapshot per structure")
 		metricsOut = flag.String("metrics-out", "", "write all snapshots to this file as JSON (implies -metrics)")
 	)
@@ -125,7 +146,7 @@ func main() {
 	snapshots := map[string]skipqueue.Snapshot{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *metrics)
+		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *shards, *metrics)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nativebench: unknown structure %q\n", name)
 			os.Exit(2)

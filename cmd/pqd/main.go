@@ -8,6 +8,7 @@
 //	pqd -backend relaxed     # SkipQueue without the timestamp mechanism
 //	pqd -backend lockfree    # the CAS-based successor
 //	pqd -backend glheap      # single-lock binary heap baseline
+//	pqd -backend sharded     # relaxed choice-of-two multi-queue (-shards)
 //
 // Backpressure: -max-conns bounds concurrent connections (excess gets one
 // BUSY frame), -max-inflight bounds frames applied per connection between
@@ -43,8 +44,9 @@ func main() {
 }
 
 // newBackend builds the queue family named by -backend. The second return
-// is the same object's observability surface.
-func newBackend(name string, metrics bool) (server.Backend, skipqueue.Instrumented, error) {
+// is the same object's observability surface. shards only applies to the
+// sharded backend (0 = its default of two shards per GOMAXPROCS).
+func newBackend(name string, metrics bool, shards int) (server.Backend, skipqueue.Instrumented, error) {
 	var opts []skipqueue.Option
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
@@ -62,8 +64,11 @@ func newBackend(name string, metrics bool) (server.Backend, skipqueue.Instrument
 	case "glheap":
 		pq := skipqueue.NewGlobalHeapPQ[[]byte](opts...)
 		return pq, pq, nil
+	case "sharded":
+		pq := skipqueue.NewShardedPQ[[]byte](shards, opts...)
+		return pq, pq, nil
 	}
-	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree or glheap)", name)
+	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree, glheap or sharded)", name)
 }
 
 // publish registers fn under name in the expvar registry, tolerating
@@ -81,7 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:9400", "TCP listen address")
-		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap")
+		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap, sharded")
+		shards      = fs.Int("shards", 0, "shard count for -backend sharded (0 = two per GOMAXPROCS)")
 		maxConns    = fs.Int("max-conns", server.DefaultMaxConns, "max concurrent connections; excess is refused with BUSY")
 		maxInflight = fs.Int("max-inflight", server.DefaultMaxInflight, "max frames applied per connection between response flushes")
 		maxFrame    = fs.Int("max-frame", 0, "max accepted frame size in bytes (0 = protocol default, 1MiB)")
@@ -94,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	metrics := *metricsAddr != ""
-	backend, inst, err := newBackend(*backendName, metrics)
+	backend, inst, err := newBackend(*backendName, metrics, *shards)
 	if err != nil {
 		fmt.Fprintf(stderr, "pqd: %v\n", err)
 		return 2

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"skipqueue"
 	"skipqueue/internal/client"
 )
 
@@ -133,9 +134,9 @@ func TestRunBadBackend(t *testing.T) {
 // TestRunAllBackends: every advertised backend selection constructs and
 // serves at least one op end to end.
 func TestRunAllBackends(t *testing.T) {
-	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap"} {
+	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap", "sharded"} {
 		t.Run(backend, func(t *testing.T) {
-			b, inst, err := newBackend(backend, true)
+			b, inst, err := newBackend(backend, true, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -147,5 +148,24 @@ func TestRunAllBackends(t *testing.T) {
 				t.Fatal("metrics snapshot not enabled")
 			}
 		})
+	}
+}
+
+// TestShardedBackendShards: -shards is honored, and the zero default
+// resolves to at least two shards.
+func TestShardedBackendShards(t *testing.T) {
+	b, _, err := newBackend("sharded", false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.(*skipqueue.ShardedPQ[[]byte]).Shards(); got != 6 {
+		t.Fatalf("Shards = %d, want 6", got)
+	}
+	b, _, err = newBackend("sharded", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.(*skipqueue.ShardedPQ[[]byte]).Shards(); got < 2 {
+		t.Fatalf("default Shards = %d, want >= 2", got)
 	}
 }

@@ -1,0 +1,296 @@
+// Package quality checks *relaxed* priority-queue histories — the
+// companion of internal/lincheck, which checks strict Definition 1
+// histories. A relaxed queue (internal/sharded's choice-of-two ShardedPQ,
+// or the paper's Section 5.4 relaxed SkipQueue) is allowed to return an
+// element that is not the global minimum, so the strict checker's "did you
+// return the minimum of I−D" question is the wrong one. The questions that
+// remain meaningful, and that this package answers from a recorded
+// history, are the ones the k-LSM benchmarking literature settled on:
+//
+//  1. Conservation (hard invariant): every delivered element was inserted
+//     exactly once, nothing is delivered twice, and whatever was inserted
+//     but never delivered is still in the queue afterwards. Analyze
+//     returns an error when this multiset invariant breaks.
+//
+//  2. Rank error (quality metric): for each successful delete, how many
+//     eligible elements had a strictly smaller key at its claim point. A
+//     strict queue scores 0 everywhere; choice-of-two sampling over P
+//     shards is expected to score O(P) on average with an O(P·log P)
+//     tail, and Report.CheckBound asserts a generously-constanted bound
+//     of exactly that shape.
+//
+// Histories are sequences of Event values stamped at each operation's
+// serialization point (internal/sharded draws these from one global
+// counter via its tracer hook). Analyze replays the history in stamp
+// order. Because an insert's stamp is drawn after its element became
+// visible, a racing delete can legitimately deliver an element whose
+// insert event carries a later stamp; the replay treats such elements as
+// in-flight rather than phantom, and pairs them up when the insert event
+// arrives.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Event is one recorded operation. It mirrors internal/sharded.Event
+// structurally (this package depends on no queue implementation, so any
+// relaxed queue can be checked by adapting its trace into these).
+type Event struct {
+	// Insert is true for an insert of (Key, ID); false for a delete that
+	// returned (Key, ID) when OK, or EMPTY when !OK.
+	Insert bool
+	// Key is the element's priority.
+	Key int64
+	// ID is the element's unique identity — the multiset handle that lets
+	// duplicate priorities be told apart.
+	ID uint64
+	// OK is false only for EMPTY deletes.
+	OK bool
+	// Stamp is the operation's serialization stamp; Analyze replays the
+	// history in ascending Stamp order.
+	Stamp int64
+}
+
+// Element identifies one leftover element found in the queue after the
+// recorded run (compare internal/sharded.Entry).
+type Element struct {
+	Key int64
+	ID  uint64
+}
+
+// Recorder is a concurrency-safe Event sink, suitable as the target of a
+// queue tracer hook.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns a Recorder with capacity pre-allocated for about n
+// events.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{events: make([]Event, 0, n)}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns the recorded history (a copy; safe to Analyze while the
+// recorder keeps collecting).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Report summarizes a verified history.
+type Report struct {
+	Inserts int // insert events
+	Deletes int // successful delete events
+	Empties int // EMPTY delete events
+
+	// Ranks holds each successful delete's rank error in replay order:
+	// the number of live elements with a strictly smaller key at the
+	// delete's stamp. 0 means the delete took a minimum.
+	Ranks []int
+	// MeanRank, P99Rank and MaxRank summarize Ranks (all zero when no
+	// successful delete was recorded).
+	MeanRank float64
+	P99Rank  int
+	MaxRank  int
+
+	// FalseEmpties counts EMPTY deletes whose stamp fell while the replay
+	// live-set was non-empty. Under concurrency a full-sweep queue can
+	// produce these legitimately (every live element may be claimed or
+	// inserted concurrently with the sweep), so this is advisory — but in
+	// a sequential history it must be zero.
+	FalseEmpties int
+}
+
+// liveSet is an ordered multiset of live elements keyed (Key, ID),
+// supporting rank queries. A sorted slice with binary search is O(n) per
+// mutation in the worst case, which is fine at test scale.
+type liveSet struct {
+	els []Element // sorted by (Key, ID)
+	pos map[uint64]struct{}
+}
+
+func elLess(a, b Element) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+func (l *liveSet) search(e Element) int {
+	return sort.Search(len(l.els), func(i int) bool { return !elLess(l.els[i], e) })
+}
+
+func (l *liveSet) add(e Element) {
+	i := l.search(e)
+	l.els = append(l.els, Element{})
+	copy(l.els[i+1:], l.els[i:])
+	l.els[i] = e
+	l.pos[e.ID] = struct{}{}
+}
+
+func (l *liveSet) remove(e Element) bool {
+	if _, ok := l.pos[e.ID]; !ok {
+		return false
+	}
+	i := l.search(e)
+	if i >= len(l.els) || l.els[i] != e {
+		return false
+	}
+	l.els = append(l.els[:i], l.els[i+1:]...)
+	delete(l.pos, e.ID)
+	return true
+}
+
+// rankBelow counts live elements with key strictly smaller than key.
+func (l *liveSet) rankBelow(key int64) int {
+	return sort.Search(len(l.els), func(i int) bool { return l.els[i].Key >= key })
+}
+
+// Analyze replays a recorded history in stamp order, verifying the
+// multiset conservation invariant against the remaining elements drained
+// from the quiescent queue, and computing the rank-error distribution. It
+// returns a non-nil error exactly when conservation is violated (lost,
+// duplicated or phantom elements) or the recording is inconsistent.
+func Analyze(events []Event, remaining []Element) (*Report, error) {
+	ops := append([]Event(nil), events...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Stamp < ops[j].Stamp })
+
+	rep := &Report{}
+	live := &liveSet{pos: map[uint64]struct{}{}}
+	inserted := map[uint64]int64{}  // ID -> key, every insert ever seen
+	delivered := map[uint64]int64{} // ID -> key, every successful delete
+	inflight := map[uint64]int64{}  // delivered before their insert event's stamp
+
+	for _, op := range ops {
+		if op.Insert {
+			if k, dup := inserted[op.ID]; dup {
+				return nil, fmt.Errorf("quality: id %d inserted twice (keys %d and %d)", op.ID, k, op.Key)
+			}
+			inserted[op.ID] = op.Key
+			rep.Inserts++
+			if k, raced := inflight[op.ID]; raced {
+				// Already delivered by a racing delete; never goes live.
+				if k != op.Key {
+					return nil, fmt.Errorf("quality: id %d inserted with key %d but delivered with key %d", op.ID, op.Key, k)
+				}
+				delete(inflight, op.ID)
+				continue
+			}
+			live.add(Element{Key: op.Key, ID: op.ID})
+			continue
+		}
+		if !op.OK {
+			rep.Empties++
+			if len(live.els) > 0 {
+				rep.FalseEmpties++
+			}
+			continue
+		}
+		if k, dup := delivered[op.ID]; dup {
+			return nil, fmt.Errorf("quality: id %d delivered twice (keys %d and %d)", op.ID, k, op.Key)
+		}
+		delivered[op.ID] = op.Key
+		rep.Deletes++
+		rep.Ranks = append(rep.Ranks, live.rankBelow(op.Key))
+		if live.remove(Element{Key: op.Key, ID: op.ID}) {
+			continue
+		}
+		if k, seen := inserted[op.ID]; seen {
+			// In the live map by ID but not removable as (Key, ID): the
+			// delete's key disagrees with the insert's.
+			return nil, fmt.Errorf("quality: id %d inserted with key %d but delivered with key %d", op.ID, k, op.Key)
+		}
+		// Delivered ahead of its insert event: concurrent insert whose
+		// stamp landed later. Pair them up when the insert arrives.
+		inflight[op.ID] = op.Key
+	}
+
+	if len(inflight) > 0 {
+		for id, k := range inflight {
+			return nil, fmt.Errorf("quality: id %d (key %d) delivered but never inserted (phantom)", id, k)
+		}
+	}
+
+	// Leftovers: inserted − delivered must equal the drained remainder.
+	want := map[uint64]int64{}
+	for id, k := range inserted {
+		if _, gone := delivered[id]; !gone {
+			want[id] = k
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, e := range remaining {
+		if seen[e.ID] {
+			return nil, fmt.Errorf("quality: id %d present twice in the drained remainder", e.ID)
+		}
+		seen[e.ID] = true
+		k, ok := want[e.ID]
+		if !ok {
+			return nil, fmt.Errorf("quality: id %d (key %d) remains but was never inserted or was already delivered", e.ID, e.Key)
+		}
+		if k != e.Key {
+			return nil, fmt.Errorf("quality: id %d inserted with key %d but remains with key %d", e.ID, k, e.Key)
+		}
+		delete(want, e.ID)
+	}
+	for id, k := range want {
+		return nil, fmt.Errorf("quality: id %d (key %d) inserted, never delivered, and missing from the remainder (lost)", id, k)
+	}
+
+	if len(rep.Ranks) > 0 {
+		sorted := append([]int(nil), rep.Ranks...)
+		sort.Ints(sorted)
+		sum := 0
+		for _, r := range sorted {
+			sum += r
+		}
+		rep.MeanRank = float64(sum) / float64(len(sorted))
+		rep.P99Rank = sorted[(len(sorted)*99)/100]
+		rep.MaxRank = sorted[len(sorted)-1]
+	}
+	return rep, nil
+}
+
+// Bound returns the rank-error bound for a P-shard choice-of-two queue:
+// a mean bound linear in P and a max bound of O(P·log P) shape, both with
+// generous constants so the check flags broken sampling (a shard that
+// never drains, a biased picker) without flaking on scheduler noise.
+func Bound(shards int) (maxMean float64, maxRank int) {
+	p := float64(shards)
+	if p < 1 {
+		p = 1
+	}
+	l := math.Log2(2 * p)
+	return 8*p + 8, int(64*p*l) + 64
+}
+
+// CheckBound asserts the report's rank errors against Bound(shards).
+func (r *Report) CheckBound(shards int) error {
+	maxMean, maxRank := Bound(shards)
+	if r.MeanRank > maxMean {
+		return fmt.Errorf("quality: mean rank error %.2f exceeds bound %.2f for %d shards", r.MeanRank, maxMean, shards)
+	}
+	if r.MaxRank > maxRank {
+		return fmt.Errorf("quality: max rank error %d exceeds bound %d for %d shards", r.MaxRank, maxRank, shards)
+	}
+	return nil
+}
+
+// String renders a one-line summary for test logs.
+func (r *Report) String() string {
+	return fmt.Sprintf("inserts=%d deletes=%d empties=%d (false=%d) rank mean=%.2f p99=%d max=%d",
+		r.Inserts, r.Deletes, r.Empties, r.FalseEmpties, r.MeanRank, r.P99Rank, r.MaxRank)
+}

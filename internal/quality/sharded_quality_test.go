@@ -1,0 +1,106 @@
+package quality_test
+
+import (
+	"sync"
+	"testing"
+
+	"skipqueue/internal/quality"
+	"skipqueue/internal/sharded"
+	"skipqueue/internal/xrand"
+)
+
+// record wires a ShardedPQ's tracer into a quality Recorder.
+func record(p *sharded.PQ[uint64], rec *quality.Recorder) {
+	p.SetTracer(func(e sharded.Event) {
+		rec.Record(quality.Event{Insert: e.Insert, Key: e.Priority, ID: e.Seq, OK: e.OK, Stamp: e.Stamp})
+	})
+}
+
+// remaining converts the quiescent queue's entries for Analyze.
+func remaining(p *sharded.PQ[uint64]) []quality.Element {
+	entries := p.Entries()
+	out := make([]quality.Element, len(entries))
+	for i, e := range entries {
+		out[i] = quality.Element{Key: e.Priority, ID: e.Seq}
+	}
+	return out
+}
+
+// TestShardedSequentialQuality: a sequential history must conserve the
+// multiset exactly, never report a false EMPTY, and stay within the rank
+// bound.
+func TestShardedSequentialQuality(t *testing.T) {
+	const shards = 8
+	p := sharded.New[uint64](sharded.Config{Shards: shards, Seed: 3})
+	rec := quality.NewRecorder(4096)
+	record(p, rec)
+
+	rng := xrand.NewRand(3)
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2:
+			p.Push(rng.Int63()%1000, uint64(i))
+		default:
+			p.Pop()
+		}
+	}
+	rep, err := quality.Analyze(rec.Events(), remaining(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FalseEmpties != 0 {
+		t.Fatalf("sequential history produced %d false EMPTYs: %s", rep.FalseEmpties, rep)
+	}
+	if err := rep.CheckBound(shards); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential: %s", rep)
+}
+
+// TestShardedRankErrorUnderLoad is the tentpole's concurrent quality
+// harness: goroutines churn a ShardedPQ through its tracer hook, and the
+// recorded history must (a) conserve the multiset — no lost, duplicated or
+// phantom elements — and (b) keep the rank-error distribution inside the
+// O(P·log P)-shaped bound that choice-of-two sampling promises.
+func TestShardedRankErrorUnderLoad(t *testing.T) {
+	const shards = 8
+	workers := 8
+	perWorker := 6000
+	if testing.Short() {
+		workers, perWorker = 4, 1500
+	}
+	p := sharded.New[uint64](sharded.Config{Shards: shards, Seed: 11})
+	rec := quality.NewRecorder(2 * workers * perWorker)
+	record(p, rec)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewRand(uint64(w)*0x9e3779b97f4a7c15 + 11)
+			for i := 0; i < perWorker; i++ {
+				// Insert-biased start, then mixed: keeps the queue
+				// populated so pops measure rank against a real backlog.
+				if rng.Intn(10) < 6 {
+					p.Push(rng.Int63()%100000, uint64(w*perWorker+i))
+				} else {
+					p.Pop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep, err := quality.Analyze(rec.Events(), remaining(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deletes == 0 {
+		t.Fatal("no successful deletes recorded; workload broken")
+	}
+	if err := rep.CheckBound(shards); err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	t.Logf("concurrent: %s", rep)
+}

@@ -1,0 +1,105 @@
+package sharded
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzOps drives a ShardedPQ from a byte string against a model multiset,
+// with a relaxedness-aware comparison (compare internal/core's
+// FuzzQueueModel, which demands the strict minimum). The first byte picks
+// the shard count; then every even byte inserts key b/2 and every odd byte
+// pops. The model checks what the relaxed contract actually promises:
+//
+//   - a popped element is present in the model multiset (no phantoms),
+//     and is at least the model minimum (nothing smaller than the true
+//     minimum can exist to be returned);
+//   - sequentially, EMPTY appears iff the model is empty (the full-sweep
+//     guarantee);
+//   - the final drain matches the model multiset exactly (conservation).
+//
+// Run with `go test -fuzz=FuzzOps ./internal/sharded` for a deep
+// exploration; plain `go test` replays the seed corpus.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 2, 4, 1, 1, 1})
+	f.Add([]byte{16, 255, 254, 253, 252, 1, 3, 5})
+	f.Add([]byte{1, 10, 10, 10, 1, 10, 1, 1})
+	f.Add([]byte{8, 2, 2, 2, 2, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		shards := 1
+		if len(data) > 0 {
+			shards = 1 + int(data[0]%16)
+			data = data[1:]
+		}
+		q := New[int64](Config{Shards: shards, Seed: 1})
+		model := map[int64]int{} // key -> multiplicity
+		size := 0
+		for step, b := range data {
+			if b%2 == 0 {
+				k := int64(b / 2)
+				q.Push(k, k)
+				model[k]++
+				size++
+				continue
+			}
+			k, v, ok := q.Pop()
+			if size == 0 {
+				if ok {
+					t.Fatalf("step %d: Pop on empty returned %d", step, k)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("step %d: Pop returned EMPTY with %d elements held", step, size)
+			}
+			if k != v {
+				t.Fatalf("step %d: Pop returned value %d for key %d", step, v, k)
+			}
+			if model[k] == 0 {
+				t.Fatalf("step %d: Pop returned %d, which is not held (model %v)", step, k, model)
+			}
+			min := int64(1 << 62)
+			for mk := range model {
+				if mk < min {
+					min = mk
+				}
+			}
+			if k < min {
+				t.Fatalf("step %d: Pop returned %d, smaller than true minimum %d", step, k, min)
+			}
+			model[k]--
+			if model[k] == 0 {
+				delete(model, k)
+			}
+			size--
+		}
+		if got := q.Len(); got != size {
+			t.Fatalf("final Len = %d, want %d", got, size)
+		}
+		var got []int64
+		for {
+			k, _, ok := q.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, k)
+		}
+		var want []int64
+		for k, n := range model {
+			for i := 0; i < n; i++ {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("final drain %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final drain %v, want %v", got, want)
+			}
+		}
+	})
+}

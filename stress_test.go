@@ -1,0 +1,119 @@
+package skipqueue
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"skipqueue/internal/xrand"
+)
+
+// multisetPQ is the Push/Pop/Peek/Len surface every root multiset queue
+// shares (the same shape internal/server.Backend consumes).
+type multisetPQ interface {
+	Push(priority int64, value uint64)
+	Pop() (int64, uint64, bool)
+	Peek() (int64, uint64, bool)
+	Len() int
+}
+
+// stressBackends enumerates every multiset backend, including the relaxed
+// sharded one, under the construction each family expects.
+func stressBackends() []struct {
+	name string
+	mk   func() multisetPQ
+} {
+	return []struct {
+		name string
+		mk   func() multisetPQ
+	}{
+		{"skipqueue", func() multisetPQ { return NewPQ[uint64](WithSeed(1)) }},
+		{"relaxed", func() multisetPQ { return NewPQ[uint64](WithSeed(1), WithRelaxed()) }},
+		{"lockfree", func() multisetPQ { return NewLockFreePQ[uint64](WithSeed(1)) }},
+		{"glheap", func() multisetPQ { return NewGlobalHeapPQ[uint64](WithSeed(1)) }},
+		{"sharded", func() multisetPQ { return NewShardedPQ[uint64](8, WithSeed(1)) }},
+	}
+}
+
+// TestStressChurnMatrix is the table-driven churn matrix: every backend ×
+// 1..16 goroutines under a mixed Insert/DeleteMin/Peek workload, followed
+// by an exact multiset reconciliation — every pushed value is delivered or
+// drained exactly once, and nothing else ever appears. The scheduled CI
+// stress job runs this with -race -count=5; -short keeps the tier-1 and
+// race-PR runs fast.
+func TestStressChurnMatrix(t *testing.T) {
+	goroutines := []int{1, 2, 4, 8, 16}
+	perWorker := uint64(2000)
+	if testing.Short() {
+		goroutines = []int{1, 4}
+		perWorker = 500
+	}
+	for _, b := range stressBackends() {
+		for _, g := range goroutines {
+			t.Run(fmt.Sprintf("%s/g%d", b.name, g), func(t *testing.T) {
+				churn(t, b.mk(), g, perWorker)
+			})
+		}
+	}
+}
+
+// churn runs the mixed workload and reconciles. Values are globally unique
+// (worker index × stride + op index), so multiset conservation reduces to
+// set equality over delivered values.
+func churn(t *testing.T, q multisetPQ, workers int, perWorker uint64) {
+	var mu sync.Mutex
+	delivered := map[uint64]bool{}
+	pushed := workers * int(perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewRand(uint64(w)*0x9e3779b97f4a7c15 + 1)
+			local := make([]uint64, 0, perWorker)
+			for i := uint64(0); i < perWorker; i++ {
+				id := uint64(w)*perWorker*16 + i
+				q.Push(rng.Int63()%4096, id)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4, 5: // pop often enough to churn, rarely enough to keep a backlog
+					if _, v, ok := q.Pop(); ok {
+						local = append(local, v)
+					}
+				case 6:
+					q.Peek() // advisory; must not disturb conservation
+				case 7:
+					_ = q.Len()
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				if delivered[v] {
+					t.Errorf("value %d delivered twice", v)
+					return
+				}
+				delivered[v] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for {
+		_, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if delivered[v] {
+			t.Fatalf("value %d delivered twice (drain)", v)
+		}
+		delivered[v] = true
+	}
+	if len(delivered) != pushed {
+		t.Fatalf("delivered %d distinct values, want %d", len(delivered), pushed)
+	}
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len after drain = %d, want 0", n)
+	}
+}
