@@ -25,11 +25,14 @@ check: vet test
 
 # Short metrics-on pass over the native queues: exercises every probe site
 # and prints the snapshot tables. Also records the sharded-vs-strict head-to-
-# head at 8 goroutines (BENCH_sharded.txt) and runs a short loopback pass of
-# the network daemon, leaving its latency report in BENCH_server.json.
+# head at 8 goroutines (BENCH_sharded.txt), the elimination front-end vs the
+# strict queue on the 50/50 hot-key workload (BENCH_elim.txt), and runs a
+# short loopback pass of the network daemon, leaving its latency report in
+# BENCH_server.json.
 bench-smoke:
 	go run ./cmd/skipbench -metrics -metrics-duration 200ms
 	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Sharded | tee BENCH_sharded.txt
+	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Elim -keyspan 1 -metrics | tee BENCH_elim.txt
 	$(MAKE) loadtest LOADTEST_DURATION=2s
 
 BENCH_TOLERANCE ?= 0.30

@@ -87,9 +87,16 @@ type shardedQ struct {
 func (s shardedQ) insert(k int64)  { s.q.Push(k, k) }
 func (s shardedQ) deleteMin() bool { _, _, ok := s.q.Pop(); return ok }
 
+type elimQ struct {
+	q *skipqueue.ElimPQ[int64]
+}
+
+func (s elimQ) insert(k int64)  { s.q.Push(k, k) }
+func (s elimQ) deleteMin() bool { _, _, ok := s.q.Pop(); return ok }
+
 // build constructs a structure by name. The second result exposes the
 // structure's observability probes (zero-valued unless metrics is set).
-func build(name string, capacity, shards int, metrics bool) (queue, skipqueue.Instrumented, bool) {
+func build(name string, capacity, shards, elimSlots int, metrics bool) (queue, skipqueue.Instrumented, bool) {
 	opts := []skipqueue.Option{skipqueue.WithSeed(1)}
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
@@ -119,6 +126,12 @@ func build(name string, capacity, shards int, metrics bool) (queue, skipqueue.In
 	case "Sharded":
 		q := skipqueue.NewShardedPQ[int64](shards, opts...)
 		return shardedQ{q}, q, true
+	case "Elim":
+		q := skipqueue.NewElimPQ[int64](elimSlots, opts...)
+		return elimQ{q}, q, true
+	case "ElimSharded":
+		q := skipqueue.NewElimShardedPQ[int64](elimSlots, shards, opts...)
+		return elimQ{q}, q, true
 	}
 	return nil, nil, false
 }
@@ -129,9 +142,11 @@ func main() {
 		duration   = flag.Duration("duration", 2*time.Second, "measurement duration per structure")
 		initial    = flag.Int("initial", 1000, "initial queue size")
 		ratio      = flag.Float64("ratio", 0.5, "insert ratio")
-		structures = flag.String("structures", "SkipQueue,Relaxed,LockFree,Heap,FunnelList,GlobalLock,Sharded", "comma-separated structures")
+		structures = flag.String("structures", "SkipQueue,Relaxed,LockFree,Heap,FunnelList,GlobalLock,Sharded,Elim", "comma-separated structures")
 		seed       = flag.Uint64("seed", 1, "workload seed")
-		shards     = flag.Int("shards", 0, "shard count for the Sharded structure (0 = two per GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "shard count for the Sharded structures (0 = two per GOMAXPROCS)")
+		elimSlots  = flag.Int("elim-slots", 0, "exchanger slots for the Elim structures (0 = one per core)")
+		keyspan    = flag.Int64("keyspan", 1<<40, "keys are drawn uniformly from [0, keyspan); 1 pins every op to one hot key")
 		metrics    = flag.Bool("metrics", false, "enable the queues' internal probes and print a snapshot per structure")
 		metricsOut = flag.String("metrics-out", "", "write all snapshots to this file as JSON (implies -metrics)")
 	)
@@ -146,12 +161,12 @@ func main() {
 	snapshots := map[string]skipqueue.Snapshot{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *shards, *metrics)
+		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *shards, *elimSlots, *metrics)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nativebench: unknown structure %q\n", name)
 			os.Exit(2)
 		}
-		ins, del, ops := run(q, name, *workers, *duration, *initial, *ratio, *seed)
+		ins, del, ops := run(q, name, *workers, *duration, *initial, *ratio, *seed, *keyspan)
 		fmt.Printf("%-11s %10.0f ops/sec\n", name, float64(ops)/duration.Seconds())
 		fmt.Printf("  insert:    %s\n", ins.Summary())
 		fmt.Printf("  deletemin: %s\n", del.Summary())
@@ -174,10 +189,13 @@ func main() {
 	}
 }
 
-func run(q queue, name string, workers int, d time.Duration, initial int, ratio float64, seed uint64) (ins, del *hist.H, ops uint64) {
+func run(q queue, name string, workers int, d time.Duration, initial int, ratio float64, seed uint64, keyspan int64) (ins, del *hist.H, ops uint64) {
+	if keyspan <= 0 {
+		keyspan = 1
+	}
 	rng := xrand.NewRand(seed)
 	for i := 0; i < initial; i++ {
-		q.insert(rng.Int63() % (1 << 40))
+		q.insert(rng.Int63() % keyspan)
 	}
 	ins, del = new(hist.H), new(hist.H)
 	var stop atomic.Bool
@@ -196,7 +214,7 @@ func run(q queue, name string, workers int, d time.Duration, initial int, ratio 
 				for !stop.Load() {
 					start := time.Now()
 					if r.Float64() < ratio {
-						q.insert(r.Int63() % (1 << 40))
+						q.insert(r.Int63() % keyspan)
 						localIns.Observe(time.Since(start))
 					} else {
 						q.deleteMin()

@@ -9,6 +9,8 @@
 //	pqd -backend lockfree    # the CAS-based successor
 //	pqd -backend glheap      # single-lock binary heap baseline
 //	pqd -backend sharded     # relaxed choice-of-two multi-queue (-shards)
+//	pqd -backend elim        # elimination front-end over skipqueue (-elim-slots)
+//	pqd -backend elimsharded # elimination front-end over sharded
 //
 // Backpressure: -max-conns bounds concurrent connections (excess gets one
 // BUSY frame), -max-inflight bounds frames applied per connection between
@@ -45,8 +47,9 @@ func main() {
 
 // newBackend builds the queue family named by -backend. The second return
 // is the same object's observability surface. shards only applies to the
-// sharded backend (0 = its default of two shards per GOMAXPROCS).
-func newBackend(name string, metrics bool, shards int) (server.Backend, skipqueue.Instrumented, error) {
+// sharded-backed backends (0 = the default of two shards per GOMAXPROCS);
+// elimSlots only to the elimination front-ends (0 = one slot per core).
+func newBackend(name string, metrics bool, shards, elimSlots int) (server.Backend, skipqueue.Instrumented, error) {
 	var opts []skipqueue.Option
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
@@ -67,8 +70,14 @@ func newBackend(name string, metrics bool, shards int) (server.Backend, skipqueu
 	case "sharded":
 		pq := skipqueue.NewShardedPQ[[]byte](shards, opts...)
 		return pq, pq, nil
+	case "elim":
+		pq := skipqueue.NewElimPQ[[]byte](elimSlots, opts...)
+		return pq, pq, nil
+	case "elimsharded":
+		pq := skipqueue.NewElimShardedPQ[[]byte](elimSlots, shards, opts...)
+		return pq, pq, nil
 	}
-	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree, glheap or sharded)", name)
+	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree, glheap, sharded, elim or elimsharded)", name)
 }
 
 // publish registers fn under name in the expvar registry, tolerating
@@ -86,8 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:9400", "TCP listen address")
-		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap, sharded")
-		shards      = fs.Int("shards", 0, "shard count for -backend sharded (0 = two per GOMAXPROCS)")
+		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap, sharded, elim, elimsharded")
+		shards      = fs.Int("shards", 0, "shard count for the sharded backends (0 = two per GOMAXPROCS)")
+		elimSlots   = fs.Int("elim-slots", 0, "exchanger slots for the elim backends (0 = one per core)")
 		maxConns    = fs.Int("max-conns", server.DefaultMaxConns, "max concurrent connections; excess is refused with BUSY")
 		maxInflight = fs.Int("max-inflight", server.DefaultMaxInflight, "max frames applied per connection between response flushes")
 		maxFrame    = fs.Int("max-frame", 0, "max accepted frame size in bytes (0 = protocol default, 1MiB)")
@@ -100,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	metrics := *metricsAddr != ""
-	backend, inst, err := newBackend(*backendName, metrics, *shards)
+	backend, inst, err := newBackend(*backendName, metrics, *shards, *elimSlots)
 	if err != nil {
 		fmt.Fprintf(stderr, "pqd: %v\n", err)
 		return 2

@@ -134,9 +134,9 @@ func TestRunBadBackend(t *testing.T) {
 // TestRunAllBackends: every advertised backend selection constructs and
 // serves at least one op end to end.
 func TestRunAllBackends(t *testing.T) {
-	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap", "sharded"} {
+	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap", "sharded", "elim", "elimsharded"} {
 		t.Run(backend, func(t *testing.T) {
-			b, inst, err := newBackend(backend, true, 0)
+			b, inst, err := newBackend(backend, true, 0, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,18 +154,37 @@ func TestRunAllBackends(t *testing.T) {
 // TestShardedBackendShards: -shards is honored, and the zero default
 // resolves to at least two shards.
 func TestShardedBackendShards(t *testing.T) {
-	b, _, err := newBackend("sharded", false, 6)
+	b, _, err := newBackend("sharded", false, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ShardedPQ[[]byte]).Shards(); got != 6 {
 		t.Fatalf("Shards = %d, want 6", got)
 	}
-	b, _, err = newBackend("sharded", false, 0)
+	b, _, err = newBackend("sharded", false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ShardedPQ[[]byte]).Shards(); got < 2 {
 		t.Fatalf("default Shards = %d, want >= 2", got)
+	}
+}
+
+// TestElimBackendSlots: -elim-slots is honored on both elimination
+// backends, and the zero default resolves to at least four slots.
+func TestElimBackendSlots(t *testing.T) {
+	b, _, err := newBackend("elim", false, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.(*skipqueue.ElimPQ[[]byte]).Slots(); got != 6 {
+		t.Fatalf("Slots = %d, want 6", got)
+	}
+	b, _, err = newBackend("elimsharded", false, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.(*skipqueue.ElimPQ[[]byte]).Slots(); got < 4 {
+		t.Fatalf("default Slots = %d, want >= 4", got)
 	}
 }

@@ -1,0 +1,144 @@
+package client_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"skipqueue"
+	"skipqueue/internal/client"
+	"skipqueue/internal/server"
+)
+
+// TestPropertyElimBackends runs the random-op property test against live
+// servers backed by the elimination front-end — what `pqd -backend elim`
+// and `-backend elimsharded` serve — in the pattern of
+// TestPropertyShardedMultiset. Over the strict inner queue the front-end
+// must preserve exact priority order (a sequential client never
+// eliminates, and an exchange may only deliver a key at or below the
+// queue minimum anyway), so the model demands the exact minimum; over the
+// sharded inner queue it demands the relaxed contract (held, no smaller
+// than the true minimum). Both demand exact multiset conservation, exact
+// Len between ops, and EMPTY iff the model is empty.
+func TestPropertyElimBackends(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		strict bool
+		mk     func() server.Backend
+	}{
+		{"elim", true, func() server.Backend {
+			return skipqueue.NewElimPQ[[]byte](4, skipqueue.WithSeed(9))
+		}},
+		{"elimsharded", false, func() server.Backend {
+			return skipqueue.NewElimShardedPQ[[]byte](4, 8, skipqueue.WithSeed(9))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, addr := startServer(t, server.Config{Backend: tc.mk()})
+			cl, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			model := map[string]int{} // "prio/value" -> multiplicity
+			size := 0
+			minPrio := func() int64 {
+				min := int64(1 << 62)
+				for k := range model {
+					var p int64
+					fmt.Sscanf(k, "%d/", &p)
+					if p < min {
+						min = p
+					}
+				}
+				return min
+			}
+			take := func(prio int64, val []byte, where string, i int) {
+				t.Helper()
+				k := fmt.Sprintf("%d/%s", prio, val)
+				if model[k] == 0 {
+					t.Fatalf("op %d (%s): got %q, which is not held", i, where, k)
+				}
+				min := minPrio()
+				if tc.strict && prio != min {
+					t.Fatalf("op %d (%s): got priority %d, strict minimum is %d", i, where, prio, min)
+				}
+				if prio < min {
+					t.Fatalf("op %d (%s): got priority %d, smaller than true minimum %d", i, where, prio, min)
+				}
+				model[k]--
+				if model[k] == 0 {
+					delete(model, k)
+				}
+				size--
+			}
+
+			rng := rand.New(rand.NewSource(37))
+			for i := 0; i < 2500; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					prio := int64(rng.Intn(64) - 32)
+					val := []byte(fmt.Sprintf("v%d", i))
+					if err := cl.Insert(prio, val); err != nil {
+						t.Fatalf("op %d Insert: %v", i, err)
+					}
+					model[fmt.Sprintf("%d/%s", prio, val)]++
+					size++
+				case 4, 5, 6:
+					prio, val, ok, err := cl.DeleteMin()
+					if err != nil {
+						t.Fatalf("op %d DeleteMin: %v", i, err)
+					}
+					if size == 0 {
+						if ok {
+							t.Fatalf("op %d: DeleteMin on empty returned %d/%q", i, prio, val)
+						}
+						continue
+					}
+					if !ok {
+						t.Fatalf("op %d: DeleteMin returned EMPTY with %d elements held", i, size)
+					}
+					take(prio, val, "DeleteMin", i)
+				case 7, 8:
+					prio, val, ok, err := cl.Peek()
+					if err != nil {
+						t.Fatalf("op %d Peek: %v", i, err)
+					}
+					if ok != (size > 0) {
+						t.Fatalf("op %d: Peek ok=%v with %d elements held", i, ok, size)
+					}
+					if ok {
+						if k := fmt.Sprintf("%d/%s", prio, val); model[k] == 0 {
+							t.Fatalf("op %d: Peek returned %q, which is not held", i, k)
+						}
+					}
+				case 9:
+					n, err := cl.Len()
+					if err != nil {
+						t.Fatalf("op %d Len: %v", i, err)
+					}
+					if n != size {
+						t.Fatalf("op %d: Len = %d, want %d", i, n, size)
+					}
+				}
+			}
+			for size > 0 {
+				prio, val, ok, err := cl.DeleteMin()
+				if err != nil {
+					t.Fatalf("drain DeleteMin: %v", err)
+				}
+				if !ok {
+					t.Fatalf("drain: EMPTY with %d elements held", size)
+				}
+				take(prio, val, "drain", -1)
+			}
+			if _, _, ok, err := cl.DeleteMin(); err != nil || ok {
+				t.Fatalf("post-drain DeleteMin = ok=%v err=%v, want EMPTY", ok, err)
+			}
+			if len(model) != 0 {
+				t.Fatalf("model still holds %d entries after drain", len(model))
+			}
+		})
+	}
+}

@@ -236,6 +236,13 @@ func New[K ordered, V any](cfg Config) *Queue[K, V] {
 // exact when the queue is quiescent and a best-effort snapshot otherwise.
 func (q *Queue[K, V]) Len() int { return int(q.size.Load()) }
 
+// Now draws a fresh stamp from the queue's shared logical clock — the same
+// clock Insert and DeleteMin serialize on. Front-ends that serialize
+// operations outside the skiplist (internal/elim's exchange path) draw
+// their serialization stamps here so a merged history stays totally ordered
+// by one clock and remains checkable by internal/lincheck.
+func (q *Queue[K, V]) Now() int64 { return q.clock.Now() }
+
 // Relaxed reports whether the queue runs in relaxed (no-timestamp) mode.
 func (q *Queue[K, V]) Relaxed() bool { return q.cfg.Relaxed }
 

@@ -1,0 +1,162 @@
+package elim
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"skipqueue/internal/core"
+	"skipqueue/internal/sharded"
+)
+
+// FuzzOps drives an ElimPQ from a byte string against a model heap,
+// mirroring internal/sharded's FuzzOps. The first byte picks the exchanger
+// slot count, the second picks the inner queue (strict core skiplist or
+// relaxed sharded multiqueue); then every even byte inserts key b/2 and
+// every odd byte pops.
+//
+// Sequentially a Pop can never find a waiting offer, so every eligible Push
+// publishes, times out, and falls through — the fuzz therefore exercises
+// the publish/withdraw/fall-through machinery on every eliminable input
+// while the semantics stay exactly the inner queue's:
+//
+//   - strict inner: every Pop must return the exact model minimum;
+//   - sharded inner: a Pop returns something held, no smaller than the true
+//     minimum, and EMPTY appears iff the model is empty;
+//   - both: the final drain matches the model multiset (conservation).
+//
+// The seed corpus includes an all-eliminable input (a hot key alternating
+// push/pop, so every Push passes the estimate gate) and a never-eliminable
+// one (ascending keys, so after the first fall-through every Push is above
+// the estimate and skips the exchanger).
+//
+// Run with `go test -fuzz=FuzzOps ./internal/elim` for a deep exploration;
+// plain `go test` replays the seed corpus.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{})
+	// All-eliminable: push key 0, pop, push key 0, pop, ...
+	hot := []byte{4, 0}
+	for i := 0; i < 16; i++ {
+		hot = append(hot, 0, 1)
+	}
+	f.Add(hot)
+	// Never-eliminable: strictly ascending keys, then drain.
+	asc := []byte{4, 1}
+	for b := byte(0); b < 16; b++ {
+		asc = append(asc, b*2)
+	}
+	for i := 0; i < 16; i++ {
+		asc = append(asc, 1)
+	}
+	f.Add(asc)
+	f.Add([]byte{1, 0, 10, 10, 10, 1, 10, 1, 1})
+	f.Add([]byte{7, 1, 2, 4, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slots, strictInner := 1, true
+		if len(data) > 0 {
+			slots = 1 + int(data[0]%8)
+			data = data[1:]
+		}
+		if len(data) > 0 {
+			strictInner = data[0]%2 == 0
+			data = data[1:]
+		}
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+
+		var inner Backend[int64]
+		var strictQ *core.Queue[int64, int64]
+		if strictInner {
+			strictQ = core.New[int64, int64](core.Config{Seed: 1})
+			inner = strictBackend{strictQ}
+		} else {
+			inner = sharded.New[int64](sharded.Config{Shards: 4, Seed: 1})
+		}
+		p := New[int64](inner, Config{Slots: slots, Timeout: time.Microsecond, Metrics: true})
+
+		model := map[int64]int{} // key -> multiplicity
+		size := 0
+		for step, b := range data {
+			if b%2 == 0 {
+				k := int64(b / 2)
+				if strictInner && model[k] > 0 {
+					// The bare skiplist has map semantics; keep keys unique
+					// so the model stays a multiset of size-1 entries.
+					continue
+				}
+				p.Push(k, k)
+				model[k]++
+				size++
+				continue
+			}
+			k, v, ok := p.Pop()
+			if size == 0 {
+				if ok {
+					t.Fatalf("step %d: Pop on empty returned %d", step, k)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("step %d: Pop returned EMPTY with %d elements held", step, size)
+			}
+			if k != v {
+				t.Fatalf("step %d: Pop returned value %d for key %d", step, v, k)
+			}
+			if model[k] == 0 {
+				t.Fatalf("step %d: Pop returned %d, which is not held (model %v)", step, k, model)
+			}
+			min := int64(1 << 62)
+			for mk := range model {
+				if mk < min {
+					min = mk
+				}
+			}
+			if strictInner && k != min {
+				t.Fatalf("step %d: Pop returned %d, strict minimum is %d", step, k, min)
+			}
+			if k < min {
+				t.Fatalf("step %d: Pop returned %d, smaller than true minimum %d", step, k, min)
+			}
+			model[k]--
+			if model[k] == 0 {
+				delete(model, k)
+			}
+			size--
+		}
+
+		if got := p.Len(); got != size {
+			t.Fatalf("final Len = %d, want %d", got, size)
+		}
+		var got []int64
+		for {
+			k, _, ok := p.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, k)
+		}
+		var want []int64
+		for k, n := range model {
+			for i := 0; i < n; i++ {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("final drain %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final drain %v, want %v", got, want)
+			}
+		}
+		// Sequential runs must never eliminate: a hit would mean a Pop met
+		// an offer no Push is still waiting on.
+		if hits := p.ObsSnapshot().Counter("exchange.hits"); hits != 0 {
+			t.Fatalf("sequential run recorded %d exchange hits", hits)
+		}
+	})
+}

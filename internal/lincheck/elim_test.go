@@ -1,0 +1,121 @@
+package lincheck
+
+import "testing"
+
+// elimPair builds the two halves of an eliminated exchange: an insert
+// serialized at stamp s and its delete at s+1, the delete's invocation at
+// start. Done for the insert is drawn after the exchange completes.
+func elimPair(key, start, s int64) (Op, Op) {
+	return Op{Insert: true, Key: key, OK: true, Stamp: s, Done: s + 2, Elim: true},
+		Op{Key: key, OK: true, Start: start, Stamp: s + 1, Elim: true}
+}
+
+func TestVerifyAcceptsEliminatedPair(t *testing.T) {
+	i1, d1 := elimPair(7, 4, 5)
+	h := []Op{
+		ins(9, 1),
+		i1, d1, // exchange of key 7 while 9 sits in the queue: 7 <= 9, legal
+		del(9, 8, 9),
+		empty(10, 11),
+	}
+	if err := Verify(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyAcceptsEliminationIntoEmptyQueue(t *testing.T) {
+	i1, d1 := elimPair(42, 1, 2)
+	h := []Op{i1, d1, empty(5, 6)}
+	if err := Verify(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsEliminationOverSmallerMustSee(t *testing.T) {
+	// Key 3's insert completed (Done=2) before the eliminated delete began
+	// (Start=4), so the exchange of key 7 skips a must-see smaller element.
+	i1, d1 := elimPair(7, 4, 5)
+	h := []Op{ins(3, 1), i1, d1}
+	err := Verify(h)
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("err = %v, want Violation", err)
+	}
+	if v.Expected != 3 || !v.ExpectedOK {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestVerifyAcceptsEliminationOverConcurrentSmallerInsert(t *testing.T) {
+	// Key 3's insert is concurrent with the exchange (Done=9 > Start=4):
+	// the eliminated delete may legally ignore it.
+	i1, d1 := elimPair(7, 4, 5)
+	h := []Op{
+		insLate(3, 2, 9),
+		i1, d1,
+		del(3, 10, 11),
+	}
+	if err := Verify(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsQueueDeleteOfEliminatedElement(t *testing.T) {
+	// A non-Elim delete returns a key only live as an eliminated insert:
+	// the queue can never hand out an element that never entered it.
+	h := []Op{
+		{Insert: true, Key: 7, OK: true, Stamp: 2, Done: 4, Elim: true},
+		del(7, 3, 5),
+	}
+	if err := Verify(h); err == nil {
+		t.Fatal("queue delete of an eliminated element accepted")
+	}
+}
+
+func TestVerifyRejectsEliminatedDeleteOfQueueElement(t *testing.T) {
+	h := []Op{
+		ins(7, 1),
+		{Key: 7, OK: true, Start: 2, Stamp: 3, Elim: true},
+	}
+	if err := Verify(h); err == nil {
+		t.Fatal("eliminated delete of a queue element accepted")
+	}
+}
+
+func TestVerifyRejectsInvertedExchangeStamps(t *testing.T) {
+	// The pair's insert must serialize before its delete.
+	h := []Op{
+		{Insert: true, Key: 7, OK: true, Stamp: 6, Done: 8, Elim: true},
+		{Key: 7, OK: true, Start: 2, Stamp: 5, Elim: true},
+	}
+	if err := Verify(h); err == nil {
+		t.Fatal("inverted exchange stamps accepted")
+	}
+}
+
+func TestVerifyEliminatedEmptyRulesUnchanged(t *testing.T) {
+	// An eliminated insert whose exchange completed is gone: a later EMPTY
+	// is legal. But an EMPTY while a must-see queue element lives is still
+	// rejected even when exchanges appear in the history.
+	i1, d1 := elimPair(7, 2, 3)
+	if err := Verify([]Op{i1, d1, empty(6, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	h := []Op{ins(5, 1), i1, d1, empty(8, 9)}
+	if err := Verify(h); err == nil {
+		t.Fatal("EMPTY over a live must-see element accepted in an elim history")
+	}
+}
+
+func TestVerifyConservationCountsEliminatedPairs(t *testing.T) {
+	i1, d1 := elimPair(7, 2, 3)
+	h := []Op{ins(5, 1), i1, d1}
+	if err := VerifyConservation(h, []int64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// The eliminated key must count as delivered: claiming it also remains
+	// is a duplication.
+	if err := VerifyConservation(h, []int64{5, 7}); err == nil {
+		t.Fatal("eliminated key accepted as a leftover")
+	}
+}

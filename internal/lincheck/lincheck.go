@@ -34,6 +34,23 @@
 // A successful delete must return a live element whose Stamp < Start and
 // whose key does not exceed the smallest live must-see key; an EMPTY delete
 // requires that no live must-see element exists.
+//
+// # Eliminated pairs
+//
+// The elimination front-end (internal/elim) completes an insert/delete
+// pair at an exchanger slot without the element ever entering the queue.
+// Such a pair serializes as Insert(k) immediately followed by
+// DeleteMin -> k, both at the exchange: the recorded history carries both
+// halves with Elim set, the insert stamped one clock draw before its
+// delete. Definition 1 holds at that point iff k does not exceed the
+// smallest element of I − D — which is exactly the must-see check the
+// replay already performs, so an eliminated delete faces the same minimum
+// bound and the same EMPTY rules as any other. What it is excused from is
+// the Stamp < Start timestamp test: its element was never timestamped by
+// the queue at all; the exchange is its serialization. The checker instead
+// requires the pair to be well-formed — an Elim delete must consume an
+// Elim insert serialized before it, and a non-Elim delete can never
+// consume an Elim insert (eliminated elements are invisible to the queue).
 package lincheck
 
 import (
@@ -54,6 +71,10 @@ type Op struct {
 	Stamp  int64
 	Done   int64
 	Start  int64
+	// Elim marks both halves of an eliminated pair (internal/elim): the
+	// insert handed its element to the delete at an exchanger slot, and
+	// both serialize at the exchange (see the package comment).
+	Elim bool
 }
 
 // Violation describes a failed check.
@@ -146,7 +167,24 @@ func Verify(history []Op) error {
 			return &Violation{Index: deleteIdx, Op: op,
 				Reason: "delete returned a key that is not live (phantom or double delivery)"}
 		}
-		if got.Stamp >= op.Start {
+		if got.Elim != op.Elim {
+			if op.Elim {
+				return &Violation{Index: deleteIdx, Op: op,
+					Reason: "eliminated delete consumed an element that was inserted into the queue"}
+			}
+			return &Violation{Index: deleteIdx, Op: op,
+				Reason: "queue delete returned an eliminated element (never entered the queue)"}
+		}
+		if op.Elim {
+			// The pair serializes at the exchange: the insert's stamp must
+			// have been drawn before the delete's. The Stamp < Start test
+			// does not apply — the element was never timestamped by the
+			// queue — but the must-see minimum bound below still does.
+			if got.Stamp >= op.Stamp {
+				return &Violation{Index: deleteIdx, Op: op,
+					Reason: "eliminated pair's insert not serialized before its delete"}
+			}
+		} else if got.Stamp >= op.Start {
 			return &Violation{Index: deleteIdx, Op: op,
 				Reason: "delete returned an element its own timestamp test must have rejected"}
 		}

@@ -195,6 +195,13 @@ func (p *PQ[V]) Shards() int { return len(p.shards) }
 // goroutines. fn is invoked inline from Push and Pop.
 func (p *PQ[V]) SetTracer(fn func(Event)) { p.tracer = fn }
 
+// Stamp draws a fresh stamp from the same global counter the tracer
+// serializes Push and Pop events on. Front-ends that hand elements off
+// outside the shards (internal/elim's exchange path) stamp their events
+// here, so a merged history replays in one consistent order under
+// internal/quality.
+func (p *PQ[V]) Stamp() int64 { return p.clock.Add(1) }
+
 // key/priority/seq encoding: the same 16-byte composite-key trick the root
 // PQ uses — priority (sign-flipped) then sequence number, ordered
 // lexicographically — duplicated here because the root package wraps this

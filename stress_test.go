@@ -32,6 +32,8 @@ func stressBackends() []struct {
 		{"lockfree", func() multisetPQ { return NewLockFreePQ[uint64](WithSeed(1)) }},
 		{"glheap", func() multisetPQ { return NewGlobalHeapPQ[uint64](WithSeed(1)) }},
 		{"sharded", func() multisetPQ { return NewShardedPQ[uint64](8, WithSeed(1)) }},
+		{"elim", func() multisetPQ { return NewElimPQ[uint64](4, WithSeed(1)) }},
+		{"elim-sharded", func() multisetPQ { return NewElimShardedPQ[uint64](4, 8, WithSeed(1)) }},
 	}
 }
 
