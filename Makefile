@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest
+.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest obs-smoke
 
 all: build test
 
@@ -54,6 +54,15 @@ bench-check:
 pqd:
 	go build -o bin/pqd ./cmd/pqd
 	go build -o bin/pqload ./cmd/pqload
+
+# Observability smoke: boot the real daemon in-process with the admin
+# surface and flight recorders on, drive traced traffic, and validate
+# /metrics against the golden catalog (cmd/pqd/testdata/metrics.golden),
+# /healthz through a drain, and /debug/flight span content — plus the
+# flight recorder's own test battery, all under the race detector.
+obs-smoke:
+	go test -race -count=1 -run 'ObsSmoke|RunDrainsOnSIGTERM' ./cmd/pqd/
+	go test -race -count=1 ./internal/flight/ ./internal/admin/
 
 LOADTEST_DURATION ?= 10s
 LOADTEST_OUT ?= BENCH_server.json

@@ -18,6 +18,7 @@ func BenchmarkSkipQueue(b *testing.B) {
 	}{
 		{"MetricsOff", []Option{WithSeed(1)}},
 		{"MetricsOn", []Option{WithSeed(1), WithMetrics()}},
+		{"FlightOn", []Option{WithSeed(1), WithFlight(NewFlightRecorder("bench", 0, 4096))}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			q := New[int64, int64](mode.opts...)

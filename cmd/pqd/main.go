@@ -14,12 +14,22 @@
 //
 // Backpressure: -max-conns bounds concurrent connections (excess gets one
 // BUSY frame), -max-inflight bounds frames applied per connection between
-// response flushes. -metrics exposes the server's and backend's probe
-// snapshots as JSON on /debug/vars (expvar) at the given address.
+// response flushes.
+//
+// Observability: -admin serves the operational HTTP surface on its own
+// listener (see internal/admin and docs/OBSERVABILITY.md) — /metrics in
+// Prometheus text format, /healthz for drain-aware load balancing,
+// /debug/flight for flight-recorder dumps, /debug/vars (expvar) and
+// /debug/pprof. -metrics is the backward-compatible alias for -admin.
+// -flight sizes the per-shard flight-recorder rings (0 = off) and -slo
+// sets the per-frame latency budget whose breach captures an anomaly dump.
 //
 // On SIGTERM or SIGINT pqd drains: it stops accepting, answers frames
 // already received normally, replies SHUTDOWN to frames arriving during
-// the drain window, then closes connections and exits 0.
+// the drain window, then closes connections and exits 0. The admin
+// listener answers /healthz with 503 from the first moment of the drain
+// and is shut down only after the data plane has answered its last frame,
+// so the final drain state remains scrapeable.
 package main
 
 import (
@@ -30,13 +40,15 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"skipqueue"
+	"skipqueue/internal/admin"
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/server"
 )
@@ -48,11 +60,15 @@ func main() {
 // newBackend builds the queue family named by -backend. The second return
 // is the same object's observability surface. shards only applies to the
 // sharded-backed backends (0 = the default of two shards per GOMAXPROCS);
-// elimSlots only to the elimination front-ends (0 = one slot per core).
-func newBackend(name string, metrics bool, shards, elimSlots int) (server.Backend, skipqueue.Instrumented, error) {
+// elimSlots only to the elimination front-ends (0 = one slot per core); fr,
+// when non-nil, receives the structure's contention events.
+func newBackend(name string, metrics bool, shards, elimSlots int, fr *flight.Recorder) (server.Backend, skipqueue.Instrumented, error) {
 	var opts []skipqueue.Option
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
+	}
+	if fr != nil {
+		opts = append(opts, skipqueue.WithFlight(fr))
 	}
 	switch name {
 	case "skipqueue":
@@ -103,14 +119,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxFrame    = fs.Int("max-frame", 0, "max accepted frame size in bytes (0 = protocol default, 1MiB)")
 		drainWindow = fs.Duration("drain-window", server.DefaultDrainWindow, "how long a drain keeps answering late frames with SHUTDOWN")
 		drainWait   = fs.Duration("drain-timeout", 5*time.Second, "total shutdown budget before connections are force-closed")
-		metricsAddr = fs.String("metrics", "", "serve expvar metrics over HTTP on this address (also enables probe collection)")
+		adminAddr   = fs.String("admin", "", "serve the admin surface (/metrics, /healthz, /debug/flight, /debug/pprof, /debug/vars) on this address; also enables probe collection")
+		metricsAddr = fs.String("metrics", "", "alias for -admin (backward compatible)")
+		flightSlots = fs.Int("flight", 0, "flight-recorder ring slots per shard (0 = recorder off)")
+		slo         = fs.Duration("slo", 0, "per-frame server latency budget; a traced frame exceeding it captures an anomaly dump (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *adminAddr == "" {
+		*adminAddr = *metricsAddr
+	}
 
-	metrics := *metricsAddr != ""
-	backend, inst, err := newBackend(*backendName, metrics, *shards, *elimSlots)
+	metrics := *adminAddr != ""
+	var serverFR, structFR *flight.Recorder
+	if *flightSlots > 0 {
+		serverFR = flight.New("server", 0, *flightSlots)
+		structFR = flight.New("structure", 0, *flightSlots)
+	}
+	backend, inst, err := newBackend(*backendName, metrics, *shards, *elimSlots, structFR)
 	if err != nil {
 		fmt.Fprintf(stderr, "pqd: %v\n", err)
 		return 2
@@ -123,19 +150,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxFrame:    *maxFrame,
 		DrainWindow: *drainWindow,
 		Metrics:     metrics,
+		Flight:      serverFR,
+		SLO:         *slo,
 	})
 
-	if metrics {
+	// draining feeds /healthz; it flips the instant a drain signal arrives,
+	// before the data plane starts refusing, so load balancers stop routing
+	// as early as possible.
+	var draining atomic.Bool
+
+	var adm *admin.Server
+	var admErr chan error
+	if *adminAddr != "" {
 		publish("pqd.server", srv.Snapshot)
 		publish("pqd.backend", inst.Snapshot)
-		mln, err := net.Listen("tcp", *metricsAddr)
+		adm = admin.New(admin.Config{
+			Namespace: "pqd",
+			Snapshots: func() []obs.Snapshot { return []obs.Snapshot{srv.Snapshot(), inst.Snapshot()} },
+			Draining:  draining.Load,
+			Flight:    []*flight.Recorder{serverFR, structFR},
+		})
+		mln, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
-			fmt.Fprintf(stderr, "pqd: metrics listener: %v\n", err)
+			fmt.Fprintf(stderr, "pqd: admin listener: %v\n", err)
 			return 1
 		}
-		defer mln.Close()
-		fmt.Fprintf(stdout, "pqd: metrics on http://%s/debug/vars\n", mln.Addr())
-		go http.Serve(mln, nil) // expvar's handler lives on DefaultServeMux
+		fmt.Fprintf(stdout, "pqd: admin addr=%s endpoints=/metrics,/healthz,/debug/flight,/debug/pprof,/debug/vars\n", mln.Addr())
+		admErr = make(chan error, 1)
+		go func() { admErr <- adm.Serve(mln) }()
+	}
+
+	// stopAdmin retires the admin listener; called only after the data
+	// plane is fully done, so the last drain state stays scrapeable until
+	// the very end.
+	stopAdmin := func() {
+		if adm == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		adm.Shutdown(ctx)
+		cancel()
+		<-admErr
 	}
 
 	// Register the drain trigger before announcing the address, so a
@@ -147,6 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "pqd: listen: %v\n", err)
+		stopAdmin()
 		return 1
 	}
 	fmt.Fprintf(stdout, "pqd: listening addr=%s backend=%s max-conns=%d max-inflight=%d\n",
@@ -157,11 +213,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	select {
 	case sig := <-sigc:
+		draining.Store(true)
 		fmt.Fprintf(stdout, "pqd: %v: draining (window=%v budget=%v)\n", sig, *drainWindow, *drainWait)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		err := srv.Shutdown(ctx)
 		cancel()
 		<-serveErr
+		// The data plane has answered its last frame; only now retire the
+		// admin surface.
+		stopAdmin()
 		if metrics {
 			snap := srv.Snapshot()
 			fmt.Fprintf(stdout, "pqd: drained: frames=%d shutdown_replies=%d drain=%v backend_len=%d\n",
@@ -170,12 +230,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "pqd: drained: backend_len=%d\n", backend.Len())
 		}
+		if serverFR != nil {
+			fmt.Fprintf(stdout, "pqd: flight: anomalies=%d\n", serverFR.Anomalies())
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "pqd: drain incomplete: %v\n", err)
 			return 1
 		}
 		return 0
 	case err := <-serveErr:
+		draining.Store(true)
+		stopAdmin()
 		if err != nil && !errors.Is(err, server.ErrServerClosed) {
 			fmt.Fprintf(stderr, "pqd: serve: %v\n", err)
 			return 1

@@ -60,6 +60,8 @@ func TestRunDrainsOnSIGTERM(t *testing.T) {
 					"-backend", backend,
 					"-drain-window", "100ms",
 					"-drain-timeout", "5s",
+					"-admin", "127.0.0.1:0",
+					"-flight", "256",
 				}, w, &stderr)
 			}()
 
@@ -68,6 +70,16 @@ func TestRunDrainsOnSIGTERM(t *testing.T) {
 			case addr = <-w.addrCh:
 			case <-time.After(5 * time.Second):
 				t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+			}
+			// The admin line is printed before the data-plane line, so it is
+			// already in the buffer.
+			am := adminRe.FindStringSubmatch(w.String())
+			if am == nil {
+				t.Fatalf("daemon never announced its admin address:\n%s", w.String())
+			}
+			adminAddr := am[1]
+			if code, _ := adminGet(t, adminAddr, "/healthz"); code != 200 {
+				t.Fatalf("healthz before drain = %d, want 200", code)
 			}
 
 			cl, err := client.Dial(client.Config{Addr: addr, Retries: -1})
@@ -102,6 +114,23 @@ func TestRunDrainsOnSIGTERM(t *testing.T) {
 				t.Fatalf("Ping during drain: unexpected error %v", err)
 			}
 
+			// The admin surface answers 503 through the drain and is retired
+			// only after the data plane has answered its last frame.
+			sawDraining := false
+			for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+				code, err := adminGetErr(adminAddr, "/healthz")
+				if err != nil {
+					break // admin listener retired after the drain
+				}
+				if code == 503 {
+					sawDraining = true
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if !sawDraining {
+				t.Error("healthz never reported draining during the drain window")
+			}
+
 			select {
 			case code := <-exitc:
 				if code != 0 {
@@ -110,11 +139,17 @@ func TestRunDrainsOnSIGTERM(t *testing.T) {
 			case <-time.After(10 * time.Second):
 				t.Fatal("daemon did not exit after SIGTERM")
 			}
+			if _, err := adminGetErr(adminAddr, "/healthz"); err == nil {
+				t.Fatal("admin listener still serving after exit")
+			}
 			if !strings.Contains(w.String(), "draining") {
 				t.Fatalf("stdout missing drain notice:\n%s", w.String())
 			}
 			if !strings.Contains(w.String(), "drained") {
 				t.Fatalf("stdout missing drain completion:\n%s", w.String())
+			}
+			if !strings.Contains(w.String(), "flight: anomalies=") {
+				t.Fatalf("stdout missing flight summary:\n%s", w.String())
 			}
 		})
 	}
@@ -136,7 +171,7 @@ func TestRunBadBackend(t *testing.T) {
 func TestRunAllBackends(t *testing.T) {
 	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap", "sharded", "elim", "elimsharded"} {
 		t.Run(backend, func(t *testing.T) {
-			b, inst, err := newBackend(backend, true, 0, 0)
+			b, inst, err := newBackend(backend, true, 0, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,14 +189,14 @@ func TestRunAllBackends(t *testing.T) {
 // TestShardedBackendShards: -shards is honored, and the zero default
 // resolves to at least two shards.
 func TestShardedBackendShards(t *testing.T) {
-	b, _, err := newBackend("sharded", false, 6, 0)
+	b, _, err := newBackend("sharded", false, 6, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ShardedPQ[[]byte]).Shards(); got != 6 {
 		t.Fatalf("Shards = %d, want 6", got)
 	}
-	b, _, err = newBackend("sharded", false, 0, 0)
+	b, _, err = newBackend("sharded", false, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,14 +208,14 @@ func TestShardedBackendShards(t *testing.T) {
 // TestElimBackendSlots: -elim-slots is honored on both elimination
 // backends, and the zero default resolves to at least four slots.
 func TestElimBackendSlots(t *testing.T) {
-	b, _, err := newBackend("elim", false, 0, 6)
+	b, _, err := newBackend("elim", false, 0, 6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ElimPQ[[]byte]).Slots(); got != 6 {
 		t.Fatalf("Slots = %d, want 6", got)
 	}
-	b, _, err = newBackend("elimsharded", false, 3, 0)
+	b, _, err = newBackend("elimsharded", false, 3, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"skipqueue/internal/admin"
+	"skipqueue/internal/client"
+	"skipqueue/internal/flight"
+)
+
+var adminRe = regexp.MustCompile(`admin addr=(\S+)`)
+
+// adminGetErr scrapes one admin endpoint, returning the transport error
+// (listener down) instead of failing the test.
+func adminGetErr(addr, path string) (int, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// adminGet scrapes one admin endpoint and returns status and body.
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// promLine validates one exposition line: comment, or `name{labels} value`.
+var promLine = regexp.MustCompile(`^(#.*|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [-+]?[0-9.eE+Inf]+)$`)
+
+// TestObsSmoke boots the real daemon in-process with the full
+// observability surface on, drives traced traffic through a real client,
+// and validates every admin endpoint: /metrics against the golden metric
+// catalog, /healthz, and /debug/flight span content.
+func TestObsSmoke(t *testing.T) {
+	w := &addrWriter{addrCh: make(chan string, 1)}
+	var stderr bytes.Buffer
+	exitc := make(chan int, 1)
+	go func() {
+		exitc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-admin", "127.0.0.1:0",
+			"-flight", "1024",
+			"-drain-window", "50ms",
+		}, w, &stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-w.addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+	}
+	am := adminRe.FindStringSubmatch(w.String())
+	if am == nil {
+		t.Fatalf("daemon never announced its admin address:\n%s", w.String())
+	}
+	adminAddr := am[1]
+
+	cfr := flight.New("client", 0, 1024)
+	cl, err := client.Dial(client.Config{Addr: addr, Flight: cfr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const ops = 200
+	for i := 0; i < ops; i++ {
+		if err := cl.Insert(int64(i), []byte("smoke")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		if _, _, found, err := cl.DeleteMin(); err != nil || !found {
+			t.Fatalf("DeleteMin %d: found=%v err=%v", i, found, err)
+		}
+	}
+
+	if code, body := adminGet(t, adminAddr, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+
+	// /metrics: well-formed exposition containing every golden metric.
+	code, body := adminGet(t, adminAddr, "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "metrics.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range strings.Fields(string(golden)) {
+		if !strings.Contains(body, name) {
+			t.Errorf("exposition missing golden metric %s", name)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full exposition:\n%s", body)
+	}
+
+	// Second scrape grows rates from the delta window.
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, body := adminGet(t, adminAddr, "/metrics"); !strings.Contains(body, "pqd_skipqueue_server_frames_rate") {
+		t.Fatalf("second scrape missing rate gauges:\n%s", body)
+	}
+
+	// /debug/flight: both recorders present, server spans recorded for the
+	// traced traffic.
+	_, fbody := adminGet(t, adminAddr, "/debug/flight")
+	var p admin.FlightPayload
+	if err := json.Unmarshal([]byte(fbody), &p); err != nil {
+		t.Fatalf("flight payload does not decode: %v", err)
+	}
+	names := map[string]int{}
+	reads := 0
+	for _, d := range p.Recorders {
+		names[d.Name]++
+		for _, e := range d.Events {
+			if e.Kind == flight.KServerRead {
+				reads++
+			}
+		}
+	}
+	if names["server"] != 1 || names["structure"] != 1 {
+		t.Fatalf("recorders = %v, want server and structure", names)
+	}
+	if reads == 0 {
+		t.Fatal("no server.read events recorded for traced traffic")
+	}
+
+	// /debug/pprof and /debug/vars ride the same mux.
+	if code, _ := adminGet(t, adminAddr, "/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof status %d", code)
+	}
+	if code, body := adminGet(t, adminAddr, "/debug/vars"); code != 200 || !strings.Contains(body, "pqd.server") {
+		t.Fatalf("/debug/vars = %d, missing pqd.server", code)
+	}
+
+	cl.Close()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitc:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

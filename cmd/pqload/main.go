@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"skipqueue/internal/client"
+	"skipqueue/internal/flight"
 	"skipqueue/internal/hist"
 )
 
@@ -88,10 +89,16 @@ func main() {
 		keyspace = flag.Int64("keyspace", 1<<20, "priorities drawn uniformly from [0, keyspace)")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		out      = flag.String("out", "", "write the JSON report to this file (e.g. BENCH_server.json)")
+		traceOut = flag.String("trace-out", "", "record end-to-end traces and write the client flight dump (JSON) to this file; pair with a pqd started with -flight and feed both to cmd/pqtrace")
+		traceEvs = flag.Int("trace-events", 1<<16, "client flight-recorder ring slots per shard (with -trace-out)")
 	)
 	flag.Parse()
 
-	cl, err := client.Dial(client.Config{Addr: *addr, Conns: *conns})
+	var tracer *flight.Recorder
+	if *traceOut != "" {
+		tracer = flight.New("client", 0, *traceEvs)
+	}
+	cl, err := client.Dial(client.Config{Addr: *addr, Conns: *conns, Flight: tracer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pqload: %v\n", err)
 		os.Exit(1)
@@ -162,6 +169,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("pqload: wrote %s\n", *out)
+	}
+
+	if *traceOut != "" {
+		d := tracer.Snapshot()
+		data, err := json.MarshalIndent(d, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*traceOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pqload: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pqload: wrote %s (%d trace events, %d overwritten)\n",
+			*traceOut, len(d.Events), d.Written-uint64(len(d.Events)))
 	}
 }
 

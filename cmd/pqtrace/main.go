@@ -1,0 +1,154 @@
+// Command pqtrace merges a client-side flight dump with a server-side one
+// and prints the end-to-end span attribution: how much of each traced
+// request's measured latency was network (plus client pipeline wait),
+// server queueing, queue-structure work, and response flushing.
+//
+// Inputs:
+//
+//	-client FILE   the client dump, as written by `pqload -trace-out` (a
+//	               flight.Dump JSON document)
+//	-server SRC    the server dump: a file, or an http(s) URL of a running
+//	               pqd's /debug/flight endpoint. Accepts either a raw
+//	               flight.Dump or the /debug/flight payload, from which the
+//	               recorder named "server" is selected.
+//
+// The span math only ever subtracts timestamps taken by the same process,
+// so client and server clocks need no synchronization (see
+// internal/flight). Typical session:
+//
+//	pqd -flight 4096 -admin 127.0.0.1:9401 &
+//	pqload -trace-out client.json -duration 5s
+//	pqtrace -client client.json -server http://127.0.0.1:9401/debug/flight
+//
+// -require FRAC exits 1 when the fraction of traces fully attributed falls
+// below FRAC (ring wrap-around on either side orphans traces), for use as
+// a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"skipqueue/internal/flight"
+)
+
+// loadClient reads a flight.Dump JSON file.
+func loadClient(path string) (flight.Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return flight.Dump{}, err
+	}
+	var d flight.Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return flight.Dump{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// loadServer reads the server dump from a file or URL, accepting either a
+// raw flight.Dump or a /debug/flight payload (picking the "server"
+// recorder, the one holding request spans).
+func loadServer(src string) (flight.Dump, error) {
+	var data []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, herr := http.Get(src)
+		if herr != nil {
+			return flight.Dump{}, herr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return flight.Dump{}, fmt.Errorf("%s: HTTP %d", src, resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return flight.Dump{}, err
+	}
+
+	// /debug/flight payload shape first; fall back to a raw dump.
+	var payload struct {
+		Recorders []flight.Dump `json:"recorders"`
+	}
+	if err := json.Unmarshal(data, &payload); err == nil && len(payload.Recorders) > 0 {
+		for _, d := range payload.Recorders {
+			if d.Name == "server" {
+				return d, nil
+			}
+		}
+		return flight.Dump{}, fmt.Errorf("%s: no recorder named \"server\" among %d recorders (was pqd started with -flight?)", src, len(payload.Recorders))
+	}
+	var d flight.Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return flight.Dump{}, fmt.Errorf("%s: %w", src, err)
+	}
+	return d, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pqtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		clientPath = fs.String("client", "", "client flight dump file (from pqload -trace-out); required")
+		serverSrc  = fs.String("server", "", "server flight dump: file or /debug/flight URL; required")
+		require    = fs.Float64("require", 0, "exit 1 when the attributed fraction is below this (0 = no gate)")
+		asJSON     = fs.Bool("json", false, "emit the attribution as JSON instead of the table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *clientPath == "" || *serverSrc == "" {
+		fmt.Fprintln(stderr, "pqtrace: both -client and -server are required")
+		fs.Usage()
+		return 2
+	}
+
+	cd, err := loadClient(*clientPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pqtrace: client dump: %v\n", err)
+		return 1
+	}
+	sd, err := loadServer(*serverSrc)
+	if err != nil {
+		fmt.Fprintf(stderr, "pqtrace: server dump: %v\n", err)
+		return 1
+	}
+
+	at := flight.Attribute(cd, sd)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Total      int           `json:"total"`
+			Attributed int           `json:"attributed"`
+			Rate       float64       `json:"rate"`
+			ClientOnly int           `json:"client_only"`
+			ServerOnly int           `json:"server_only"`
+			Partial    int           `json:"partial"`
+			Spans      []flight.Span `json:"spans"`
+		}{at.Total, at.Attributed, at.Rate(), at.ClientOnly, at.ServerOnly, at.Partial, at.Spans}); err != nil {
+			fmt.Fprintf(stderr, "pqtrace: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Fprint(stdout, at.Table())
+	}
+
+	if *require > 0 && at.Rate() < *require {
+		fmt.Fprintf(stderr, "pqtrace: attribution rate %.4f below required %.4f (clientOnly=%d serverOnly=%d partial=%d)\n",
+			at.Rate(), *require, at.ClientOnly, at.ServerOnly, at.Partial)
+		return 1
+	}
+	return 0
+}

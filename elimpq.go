@@ -46,6 +46,7 @@ func NewElimPQ[V any](slots int, opts ...Option) *ElimPQ[V] {
 		Slots:   slots,
 		Clock:   inner.q.Now, // one clock across exchange and skiplist stamps
 		Metrics: cfg.Metrics,
+		Flight:  cfg.Flight,
 	})
 	return &ElimPQ[V]{e: e, inner: inner}
 }
@@ -63,6 +64,7 @@ func NewElimShardedPQ[V any](slots, shards int, opts ...Option) *ElimPQ[V] {
 		Slots:   slots,
 		Clock:   inner.q.Stamp,
 		Metrics: cfg.Metrics,
+		Flight:  cfg.Flight,
 	})
 	return &ElimPQ[V]{e: e, inner: inner}
 }

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skipqueue/internal/flight"
 	"skipqueue/internal/wire"
 )
 
@@ -72,6 +73,13 @@ type Config struct {
 	Retries int
 	// MaxFrame bounds accepted response frames (default wire.DefaultMaxFrame).
 	MaxFrame int
+	// Flight, if non-nil, turns on end-to-end tracing: every request frame
+	// carries a fresh trace ID and the client's wall-clock send time
+	// (wire.FlagTraced), and the recorder gets a flight.KClientSend event at
+	// submission and a flight.KClientRecv event when the response arrives.
+	// Pair its dump with the server's (flight.Attribute, cmd/pqtrace) to
+	// split measured latency into network, queueing, and structure time.
+	Flight *flight.Recorder
 }
 
 func (cfg *Config) fillDefaults() {
@@ -174,6 +182,10 @@ type Pending struct {
 	timeout time.Duration
 }
 
+// Trace returns the call's trace ID, 0 when the client was built without
+// Config.Flight.
+func (p *Pending) Trace() uint64 { return p.call.trace }
+
 // Wait blocks for the response (bounded by the client's OpTimeout) and
 // returns it. Wait may be called once from any goroutine.
 func (p *Pending) Wait() (Result, error) {
@@ -185,17 +197,30 @@ func (p *Pending) Wait() (Result, error) {
 	return p.call.res, p.call.err
 }
 
+// traceIDs issues process-unique trace identifiers; 0 means untraced.
+var traceIDs atomic.Uint64
+
 // submit enqueues one request on a pooled connection.
 func (cl *Client) submit(op wire.Kind, arg int64, data []byte) (*Pending, error) {
 	c, err := cl.getConn()
 	if err != nil {
 		return nil, err
 	}
-	req, err := wire.Append(nil, wire.Frame{Kind: op, Arg: arg, Data: data})
+	f := wire.Frame{Kind: op, Arg: arg, Data: data}
+	fr := cl.cfg.Flight
+	if fr.Enabled() {
+		f.Trace = traceIDs.Add(1)
+		f.SendNano = time.Now().UnixNano()
+	}
+	req, err := wire.Append(nil, f)
 	if err != nil {
 		return nil, err
 	}
-	ca := &call{op: op, req: req, done: make(chan struct{})}
+	ca := &call{op: op, trace: f.Trace, req: req, done: make(chan struct{})}
+	// The send stamp is taken here, not in the writer goroutine, so the
+	// measured end-to-end span includes the client-side pipeline wait —
+	// the latency a caller actually experiences.
+	fr.Record(flight.KClientSend, f.Trace, f.SendNano)
 	if err := c.enqueue(ca); err != nil {
 		return nil, err
 	}
@@ -289,12 +314,13 @@ func (cl *Client) DeleteMinAsync() (*Pending, error) {
 
 // call is one request/response pair in flight.
 type call struct {
-	op   wire.Kind
-	req  []byte
-	res  Result
-	err  error
-	once sync.Once
-	done chan struct{}
+	op    wire.Kind
+	trace uint64 // 0 when untraced
+	req   []byte
+	res   Result
+	err   error
+	once  sync.Once
+	done  chan struct{}
 }
 
 func (c *call) complete(res Result, err error) {
@@ -313,6 +339,7 @@ type conn struct {
 	inflight chan *call
 	window   int
 	maxFrame int
+	fr       *flight.Recorder
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -333,6 +360,7 @@ func dialConn(cfg Config) (*conn, error) {
 		inflight: make(chan *call, cfg.Window),
 		window:   cfg.Window,
 		maxFrame: cfg.MaxFrame,
+		fr:       cfg.Flight,
 		ctx:      ctx,
 		cancel:   cancel,
 	}
@@ -466,6 +494,9 @@ func (c *conn) readLoop() {
 			}
 			c.drainPending()
 			return
+		}
+		if ca.trace != 0 {
+			c.fr.Record(flight.KClientRecv, ca.trace, 0)
 		}
 		ca.complete(decodeResponse(ca.op, f))
 	}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/vclock"
 	"skipqueue/internal/xrand"
@@ -79,6 +80,11 @@ type Config struct {
 	// probe site costs one predictable nil check — there is no build tag
 	// and no indirection to strip.
 	Metrics bool
+	// Flight, if non-nil, receives a flight-recorder event for every lock
+	// re-acquisition (flight.KLockRetry, arg = level). Independent of
+	// Metrics: the recorder is nil-safe, so a nil Flight costs one nil
+	// check per contention site.
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +127,7 @@ type statsCounters struct {
 // classifying a skip) gate on set.Enabled().
 type probes struct {
 	set *obs.Set
+	fr  *flight.Recorder // contention event sink, nil-safe, set per Config.Flight
 
 	insertLat *obs.Hist // Insert critical section, search to linked
 	deleteLat *obs.Hist // DeleteMin critical section, scan to unlinked
@@ -133,14 +140,16 @@ type probes struct {
 }
 
 // newProbes registers the probe set, or returns zero probes (all nil) when
-// metrics are disabled.
-func newProbes(enabled bool) probes {
+// metrics are disabled. The flight recorder rides along independently of
+// the metrics switch: both are nil-safe, so either can run alone.
+func newProbes(enabled bool, fr *flight.Recorder) probes {
 	if !enabled {
-		return probes{}
+		return probes{fr: fr}
 	}
 	set := obs.NewSet("skipqueue.core")
 	return probes{
 		set:         set,
+		fr:          fr,
 		insertLat:   set.Durations("insert"),
 		deleteLat:   set.Durations("deletemin"),
 		lockRetries: set.Counter("lock.retries"),
@@ -215,7 +224,7 @@ func (q *Queue[K, V]) SetTracer(fn func(TraceEvent[K])) {
 func New[K ordered, V any](cfg Config) *Queue[K, V] {
 	cfg = cfg.withDefaults()
 	q := &Queue[K, V]{cfg: cfg, clock: new(vclock.Clock)}
-	q.obs = newProbes(cfg.Metrics)
+	q.obs = newProbes(cfg.Metrics, cfg.Flight)
 	q.levelSeed.Store(cfg.Seed)
 	var zeroK K
 	q.tail = newNode[K, V](zeroK, nil, cfg.MaxLevel)
@@ -302,6 +311,7 @@ func (q *Queue[K, V]) getLock(node1 *node[K, V], key K, level int) *node[K, V] {
 	for node2 != q.tail && node2.key < key {
 		q.stats.lockRetries.Add(1)
 		q.obs.lockRetries.Add(1)
+		q.obs.fr.Record(flight.KLockRetry, 0, int64(level))
 		node1.links[level].mu.Unlock()
 		node1 = node2
 		node1.links[level].mu.Lock()
@@ -331,6 +341,7 @@ func (q *Queue[K, V]) getLockFor(start, victim *node[K, V], level int) *node[K, 
 			// pointer; restart from the head.
 			q.stats.lockRetries.Add(1)
 			q.obs.lockRetries.Add(1)
+			q.obs.fr.Record(flight.KLockRetry, 0, int64(level))
 			node1.links[level].mu.Unlock()
 			node1 = q.head
 			node1.links[level].mu.Lock()
@@ -338,6 +349,7 @@ func (q *Queue[K, V]) getLockFor(start, victim *node[K, V], level int) *node[K, 
 		}
 		q.stats.lockRetries.Add(1)
 		q.obs.lockRetries.Add(1)
+		q.obs.fr.Record(flight.KLockRetry, 0, int64(level))
 		node1.links[level].mu.Unlock()
 		node1 = node2
 		node1.links[level].mu.Lock()

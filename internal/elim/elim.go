@@ -58,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 )
 
@@ -171,6 +172,10 @@ type Config struct {
 	// Metrics enables the "skipqueue.elim" probe set (exchange hits,
 	// misses, timeouts, fall-throughs, exchange-wait latency).
 	Metrics bool
+	// Flight, if non-nil, receives a flight-recorder event for every
+	// completed exchange (flight.KElimExchange, arg = the exchanged
+	// priority). Independent of Metrics; nil costs one nil check per hit.
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +192,7 @@ func (c Config) withDefaults() Config {
 // Config.Metrics (see internal/obs for the nil-safe discipline).
 type probes struct {
 	set *obs.Set
+	fr  *flight.Recorder // exchange event sink, nil-safe, set per Config.Flight
 
 	hits        *obs.Counter // completed exchanges
 	misses      *obs.Counter // eligible Pushes that found no empty slot
@@ -197,13 +203,14 @@ type probes struct {
 	exchangeLat *obs.Hist    // publisher-side wait, publish to collected, on hits
 }
 
-func newProbes(enabled bool) probes {
+func newProbes(enabled bool, fr *flight.Recorder) probes {
 	if !enabled {
-		return probes{}
+		return probes{fr: fr}
 	}
 	set := obs.NewSet("skipqueue.elim")
 	return probes{
 		set:         set,
+		fr:          fr,
 		hits:        set.Counter("exchange.hits"),
 		misses:      set.Counter("publish.misses"),
 		timeouts:    set.Counter("publish.timeouts"),
@@ -240,7 +247,7 @@ func New[V any](inner Backend[V], cfg Config) *PQ[V] {
 	cfg = cfg.withDefaults()
 	p := &PQ[V]{cfg: cfg, inner: inner, slots: make([]slot[V], cfg.Slots)}
 	p.est.Store(math.MaxInt64)
-	p.obs = newProbes(cfg.Metrics)
+	p.obs = newProbes(cfg.Metrics, cfg.Flight)
 	return p
 }
 
@@ -329,6 +336,7 @@ func (p *PQ[V]) tryExchangePush(priority int64, value V) bool {
 			// the offer was consumed.
 			p.obs.hits.Inc()
 			p.obs.exchangeLat.Since(t0)
+			p.obs.fr.Record(flight.KElimExchange, 0, priority)
 			return true
 		}
 		switch phaseOf(st) {
@@ -341,6 +349,7 @@ func (p *PQ[V]) tryExchangePush(priority int64, value V) bool {
 			s.state.CompareAndSwap(st, pack(ver, phaseEmpty))
 			p.obs.hits.Inc()
 			p.obs.exchangeLat.Since(t0)
+			p.obs.fr.Record(flight.KElimExchange, 0, priority)
 			return true
 		case phaseWaiting:
 			if time.Now().After(deadline) {
@@ -394,6 +403,7 @@ func (p *PQ[V]) collect(s *slot[V], t0 time.Time) bool {
 		p.tracer(Event{Insert: true, Priority: s.priority, Seq: s.seq, OK: true,
 			Stamp: s.insStamp, Done: p.now()})
 	}
+	p.obs.fr.Record(flight.KElimExchange, 0, s.priority)
 	p.reset(s)
 	p.obs.hits.Inc()
 	p.obs.exchangeLat.Since(t0)

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/vclock"
 	"skipqueue/internal/xrand"
@@ -78,6 +79,10 @@ type Config struct {
 	// Metrics enables the observability probes (internal/obs); see the
 	// matching field on core.Config. Disabled, probes are nil pointers.
 	Metrics bool
+	// Flight, if non-nil, receives a flight-recorder event for every
+	// failed structural CAS (flight.KCASRetry). Independent of Metrics;
+	// nil costs one nil check per retry site.
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +139,7 @@ type Queue[K ordered, V any] struct {
 // false (the obs types are nil-safe; see core.probes for the pattern).
 type probes struct {
 	set *obs.Set
+	fr  *flight.Recorder // contention event sink, nil-safe, set per Config.Flight
 
 	insertLat *obs.Hist // Insert, search to fully linked
 	deleteLat *obs.Hist // DeleteMin, scan to marked-and-unlinked
@@ -147,13 +153,14 @@ type probes struct {
 	scanSteps    *obs.Counter // bottom-level nodes visited by DeleteMin
 }
 
-func newProbes(enabled bool) probes {
+func newProbes(enabled bool, fr *flight.Recorder) probes {
 	if !enabled {
-		return probes{}
+		return probes{fr: fr}
 	}
 	set := obs.NewSet("skipqueue.lockfree")
 	return probes{
 		set:          set,
+		fr:           fr,
 		insertLat:    set.Durations("insert"),
 		deleteLat:    set.Durations("deletemin"),
 		casRetries:   set.Counter("cas.retries"),
@@ -222,7 +229,7 @@ func (q *Queue[K, V]) SetTracer(fn func(TraceEvent[K])) {
 func New[K ordered, V any](cfg Config) *Queue[K, V] {
 	cfg = cfg.withDefaults()
 	q := &Queue[K, V]{cfg: cfg, clock: new(vclock.Clock)}
-	q.obs = newProbes(cfg.Metrics)
+	q.obs = newProbes(cfg.Metrics, cfg.Flight)
 	q.levelSeed.Store(cfg.Seed)
 	var zero K
 	q.tail = q.newNode(zero, *new(V), cfg.MaxLevel)
@@ -293,11 +300,13 @@ retry:
 					if predMk.next != curr || predMk.marked {
 						q.stCASRetries.Add(1)
 						q.obs.casRetries.Add(1)
+						q.obs.fr.Record(flight.KCASRetry, 0, 0)
 						continue retry
 					}
 					if !pred.next[level].CompareAndSwap(predMk, &markable[K, V]{next: mk.next}) {
 						q.stCASRetries.Add(1)
 						q.obs.casRetries.Add(1)
+						q.obs.fr.Record(flight.KCASRetry, 0, 0)
 						continue retry
 					}
 					q.stUnlinks.Add(1)
@@ -355,6 +364,7 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 			// the new node can take its place.
 			q.stCASRetries.Add(1)
 			q.obs.casRetries.Add(1)
+			q.obs.fr.Record(flight.KCASRetry, 0, 0)
 			continue
 		}
 
@@ -368,11 +378,13 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 		if predMk.next != succs[0] || predMk.marked {
 			q.stCASRetries.Add(1)
 			q.obs.casRetries.Add(1)
+			q.obs.fr.Record(flight.KCASRetry, 0, 0)
 			continue
 		}
 		if !preds[0].next[0].CompareAndSwap(predMk, &markable[K, V]{next: nn}) {
 			q.stCASRetries.Add(1)
 			q.obs.casRetries.Add(1)
+			q.obs.fr.Record(flight.KCASRetry, 0, 0)
 			continue
 		}
 		q.dbg("splice", nn, preds[0], succs[0])
@@ -389,6 +401,7 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 					if !nn.next[level].CompareAndSwap(mk, &markable[K, V]{next: succ}) {
 						q.stCASRetries.Add(1)
 						q.obs.casRetries.Add(1)
+						q.obs.fr.Record(flight.KCASRetry, 0, 0)
 						continue
 					}
 				}
@@ -399,6 +412,7 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 				}
 				q.stCASRetries.Add(1)
 				q.obs.casRetries.Add(1)
+				q.obs.fr.Record(flight.KCASRetry, 0, 0)
 				q.find(key, nn, preds, succs)
 			}
 		}
@@ -450,11 +464,13 @@ retry:
 				if predMk.marked || predMk.next != curr {
 					q.stCASRetries.Add(1)
 					q.obs.casRetries.Add(1)
+					q.obs.fr.Record(flight.KCASRetry, 0, 0)
 					continue retry
 				}
 				if !pred.next[0].CompareAndSwap(predMk, &markable[K, V]{next: mk.next}) {
 					q.stCASRetries.Add(1)
 					q.obs.casRetries.Add(1)
+					q.obs.fr.Record(flight.KCASRetry, 0, 0)
 					continue retry
 				}
 				q.stUnlinks.Add(1)
@@ -528,6 +544,7 @@ func (q *Queue[K, V]) remove(victim *node[K, V]) {
 			}
 			q.stCASRetries.Add(1)
 			q.obs.casRetries.Add(1)
+			q.obs.fr.Record(flight.KCASRetry, 0, 0)
 		}
 	}
 	preds := make([]*node[K, V], q.cfg.MaxLevel)

@@ -1,0 +1,95 @@
+package obs
+
+// Delta returns the probe-wise difference s − prev: the activity between
+// two snapshots of the same Set, for rate computation (the Prometheus
+// exposition's per-scrape rates, pqd's drain summary, dashboards).
+//
+// Counters subtract by name; because each counter is monotone, every delta
+// is non-negative when prev was truly taken earlier on the same set. A
+// counter present in s but absent in prev (registered between snapshots)
+// deltas from zero, and a negative difference (prev from a different or
+// restarted set) clamps to zero rather than going negative.
+//
+// Histogram deltas are derived from the octave bands, the only shape that
+// subtracts exactly: Count and each band subtract; the quantiles are
+// recomputed from the differenced bands (octave resolution — coarser than
+// the live histogram's, adequate for rate dashboards); Mean is the exact
+// mean of the samples in the window, recovered from the sum decomposition
+// mean·count − prevMean·prevCount; Max is carried over from s, since a
+// maximum cannot be un-observed (it is the all-time max, not the window's).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{Name: s.Name, Enabled: s.Enabled}
+	for _, c := range s.Counters {
+		v := c.Value - prev.Counter(c.Name)
+		if c.Value < prev.Counter(c.Name) {
+			v = 0
+		}
+		out.Counters = append(out.Counters, CounterValue{Name: c.Name, Value: v})
+	}
+	for _, h := range s.Hists {
+		ph, ok := prev.Hist(h.Name)
+		if !ok {
+			out.Hists = append(out.Hists, h)
+			continue
+		}
+		out.Hists = append(out.Hists, deltaHist(h, ph))
+	}
+	return out
+}
+
+// deltaHist subtracts prev from cur band-wise and re-derives the summary
+// statistics for the window.
+func deltaHist(cur, prev HistValue) HistValue {
+	out := HistValue{Name: cur.Name, Unit: cur.Unit, Max: cur.Max}
+	if cur.Count > prev.Count {
+		out.Count = cur.Count - prev.Count
+	}
+	prevBands := map[uint64]uint64{}
+	for _, o := range prev.Octaves {
+		prevBands[o.Lo] = o.Count
+	}
+	for _, o := range cur.Octaves {
+		d := o.Count - prevBands[o.Lo]
+		if o.Count < prevBands[o.Lo] {
+			d = 0
+		}
+		if d > 0 {
+			out.Octaves = append(out.Octaves, OctaveCount{Lo: o.Lo, Count: d})
+		}
+	}
+	if out.Count > 0 {
+		curSum := cur.Mean * int64(cur.Count)
+		prevSum := prev.Mean * int64(prev.Count)
+		if curSum >= prevSum {
+			out.Mean = (curSum - prevSum) / int64(out.Count)
+		}
+		out.P50 = octaveQuantile(out.Octaves, out.Count, 0.50)
+		out.P90 = octaveQuantile(out.Octaves, out.Count, 0.90)
+		out.P99 = octaveQuantile(out.Octaves, out.Count, 0.99)
+	}
+	return out
+}
+
+// octaveQuantile walks the differenced bands for the q-quantile, reporting
+// the band's lower bound (matching hist's reporting convention at octave
+// resolution).
+func octaveQuantile(bands []OctaveCount, n uint64, q float64) int64 {
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var cum uint64
+	for _, b := range bands {
+		cum += b.Count
+		if cum > target {
+			return int64(b.Lo)
+		}
+	}
+	if len(bands) > 0 {
+		return int64(bands[len(bands)-1].Lo)
+	}
+	return 0
+}

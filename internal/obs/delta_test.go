@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeltaCounters: counter deltas subtract by name, clamp at zero, and
+// treat probes absent from prev as starting at zero.
+func TestDeltaCounters(t *testing.T) {
+	prev := Snapshot{Name: "s", Enabled: true, Counters: []CounterValue{
+		{Name: "a", Value: 10}, {Name: "b", Value: 100}, {Name: "gone", Value: 5},
+	}}
+	cur := Snapshot{Name: "s", Enabled: true, Counters: []CounterValue{
+		{Name: "a", Value: 17}, {Name: "b", Value: 90}, {Name: "new", Value: 3},
+	}}
+	d := cur.Delta(prev)
+	if got := d.Counter("a"); got != 7 {
+		t.Fatalf("a delta = %d, want 7", got)
+	}
+	if got := d.Counter("b"); got != 0 {
+		t.Fatalf("regressed counter delta = %d, want clamped 0", got)
+	}
+	if got := d.Counter("new"); got != 3 {
+		t.Fatalf("fresh counter delta = %d, want 3", got)
+	}
+	if got := d.Counter("gone"); got != 0 {
+		t.Fatalf("dropped counter resurfaced with %d", got)
+	}
+}
+
+// TestDeltaHist: band-wise subtraction with exact windowed count and mean,
+// and quantiles recomputed from the differenced bands.
+func TestDeltaHist(t *testing.T) {
+	prev := Snapshot{Name: "s", Enabled: true, Hists: []HistValue{{
+		Name: "lat", Unit: UnitDuration, Count: 10, Mean: 100, Max: 1000,
+		Octaves: []OctaveCount{{Lo: 64, Count: 10}},
+	}}}
+	cur := Snapshot{Name: "s", Enabled: true, Hists: []HistValue{{
+		Name: "lat", Unit: UnitDuration, Count: 30, Mean: 300, Max: 4000,
+		Octaves: []OctaveCount{{Lo: 64, Count: 12}, {Lo: 512, Count: 18}},
+	}}}
+	d := cur.Delta(prev)
+	h, ok := d.Hist("lat")
+	if !ok {
+		t.Fatal("delta lost the histogram")
+	}
+	if h.Count != 20 {
+		t.Fatalf("windowed count = %d, want 20", h.Count)
+	}
+	// Window sum = 300·30 − 100·10 = 8000 over 20 samples.
+	if h.Mean != 400 {
+		t.Fatalf("windowed mean = %d, want 400", h.Mean)
+	}
+	if len(h.Octaves) != 2 || h.Octaves[0].Count != 2 || h.Octaves[1].Count != 18 {
+		t.Fatalf("differenced bands = %+v", h.Octaves)
+	}
+	// 20 samples: 2 in [64,128), 18 in [512,1024). p50 and p99 land in the
+	// second band, reported at its lower bound.
+	if h.P50 != 512 || h.P99 != 512 {
+		t.Fatalf("windowed quantiles p50=%d p99=%d, want 512/512", h.P50, h.P99)
+	}
+	if h.Max != 4000 {
+		t.Fatalf("Max = %d, want carried-over 4000", h.Max)
+	}
+}
+
+// TestDeltaMonotone: across live concurrent snapshots of one set, every
+// counter delta is non-negative and consecutive deltas sum to the total
+// delta — the monotonicity contract rate computation rests on.
+func TestDeltaMonotone(t *testing.T) {
+	set := NewSet("delta.mono")
+	c := set.Counter("ops")
+	h := set.Durations("lat")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	snaps := make([]Snapshot, 6)
+	for i := range snaps {
+		snaps[i] = set.Snapshot()
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	var sum uint64
+	for i := 1; i < len(snaps); i++ {
+		d := snaps[i].Delta(snaps[i-1])
+		for _, cv := range d.Counters {
+			sum += cv.Value
+		}
+		dh, ok := d.Hist("lat")
+		if !ok {
+			t.Fatal("delta dropped the histogram")
+		}
+		if dh.Count > snaps[i].Hists[0].Count {
+			t.Fatalf("window %d count %d exceeds cumulative %d", i, dh.Count, snaps[i].Hists[0].Count)
+		}
+	}
+	total := snaps[len(snaps)-1].Delta(snaps[0])
+	if got := total.Counter("ops"); got != sum {
+		t.Fatalf("deltas do not telescope: sum of windows %d, end-to-end %d", sum, got)
+	}
+}
+
+// TestDeltaDisabled: the zero snapshot deltas to a zero snapshot.
+func TestDeltaDisabled(t *testing.T) {
+	var s Snapshot
+	d := s.Delta(Snapshot{})
+	if d.Enabled || len(d.Counters) != 0 || len(d.Hists) != 0 {
+		t.Fatalf("disabled delta = %+v", d)
+	}
+}

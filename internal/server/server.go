@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/wire"
 )
@@ -80,6 +81,17 @@ type Config struct {
 	// Metrics enables the observability probes (see docs/OBSERVABILITY.md,
 	// set "skipqueue.server").
 	Metrics bool
+	// Flight, if non-nil, records per-request spans for traced frames
+	// (flight.KServerRead/KServerApply/KServerFlush keyed by the frame's
+	// trace ID), batch boundaries (flight.KServerBatch), and anomaly dumps
+	// on BUSY rejects, SLO breaches, and drain start. Independent of
+	// Metrics; nil costs one nil check per site.
+	Flight *flight.Recorder
+	// SLO, if positive, is the per-frame server-side latency budget: a
+	// traced frame whose read-to-flush span exceeds it triggers an anomaly
+	// capture (flight.KSLOBreach, arg = the span in nanoseconds). Only
+	// meaningful together with Flight.
+	SLO time.Duration
 }
 
 // probes are the server's observability hooks, nil without Config.Metrics.
@@ -175,6 +187,9 @@ func New(cfg Config) *Server {
 // Snapshot reads the server's probes (zero Snapshot without Config.Metrics).
 func (s *Server) Snapshot() obs.Snapshot { return s.obs.set.Snapshot() }
 
+// Flight returns the server's flight recorder (nil without Config.Flight).
+func (s *Server) Flight() *flight.Recorder { return s.cfg.Flight }
+
 // Addr returns the listening address, or nil before Serve.
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()
@@ -229,10 +244,11 @@ func (s *Server) isClosed() bool {
 func (s *Server) admit(nc net.Conn) {
 	refuse := wire.KindInvalid
 	s.mu.Lock()
+	nconns := len(s.conns)
 	switch {
 	case s.draining.Load() || s.closed:
 		refuse = wire.StatusShutdown
-	case len(s.conns) >= s.cfg.MaxConns:
+	case nconns >= s.cfg.MaxConns:
 		refuse = wire.StatusBusy
 	default:
 		s.conns[nc] = struct{}{}
@@ -242,6 +258,9 @@ func (s *Server) admit(nc net.Conn) {
 
 	if refuse != wire.KindInvalid {
 		s.obs.rejects.Inc()
+		if refuse == wire.StatusBusy {
+			s.cfg.Flight.Anomaly(flight.KBusyReject, 0, int64(nconns))
+		}
 		go func() {
 			nc.SetWriteDeadline(time.Now().Add(time.Second))
 			if out, err := wire.Append(nil, wire.Frame{Kind: refuse}); err == nil {
@@ -273,6 +292,10 @@ func (s *Server) handle(nc net.Conn) {
 	var rbuf []byte // wire.Read scratch; frame Data aliases it
 	var out []byte  // accumulated response frames, one Write per batch
 	metered := s.obs.set.Enabled()
+	fr := s.cfg.Flight
+	// traced carries the batch's traced frames from read to flush; reused
+	// across batches so steady-state handling stays allocation-free.
+	var traced []tracedReq
 
 	for {
 		f, rb, err := wire.Read(br, rbuf, s.cfg.MaxFrame)
@@ -291,8 +314,14 @@ func (s *Server) handle(nc net.Conn) {
 		}
 
 		out = out[:0]
+		traced = traced[:0]
 		batch := 0
 		for {
+			if fr.Enabled() && f.Traced() {
+				ts := fr.Now()
+				fr.RecordAt(ts, flight.KServerRead, f.Trace, f.SendNano)
+				traced = append(traced, tracedReq{trace: f.Trace, readTS: ts})
+			}
 			out = s.apply(f, out, metered)
 			batch++
 			if batch >= s.cfg.MaxInflight {
@@ -316,7 +345,32 @@ func (s *Server) handle(nc net.Conn) {
 		if _, werr := nc.Write(out); werr != nil {
 			return
 		}
+		if fr.Enabled() {
+			s.finishBatch(fr, traced, batch)
+		}
 	}
+}
+
+// tracedReq carries one traced frame's identity from its read to the
+// response flush, where the server-side span closes.
+type tracedReq struct {
+	trace  uint64
+	readTS int64
+}
+
+// finishBatch records the flush for every traced frame of a batch (arg =
+// read-to-flush span, the whole server-side residence time), flags SLO
+// breaches, and marks the batch boundary.
+func (s *Server) finishBatch(fr *flight.Recorder, traced []tracedReq, batch int) {
+	now := fr.Now()
+	for _, tr := range traced {
+		span := now - tr.readTS
+		fr.RecordAt(now, flight.KServerFlush, tr.trace, span)
+		if s.cfg.SLO > 0 && span > int64(s.cfg.SLO) {
+			fr.Anomaly(flight.KSLOBreach, tr.trace, span)
+		}
+	}
+	fr.Record(flight.KServerBatch, 0, int64(batch))
 }
 
 // apply executes one request frame against the backend and appends the
@@ -329,8 +383,11 @@ func (s *Server) apply(f wire.Frame, out []byte, metered bool) []byte {
 		out, _ = wire.Append(out, wire.Frame{Kind: wire.StatusShutdown})
 		return out
 	}
+	// A traced frame is timed even without metrics: its apply duration is
+	// the span attribution's "structure time".
+	timed := metered || (s.cfg.Flight.Enabled() && f.Traced())
 	var t0 time.Time
-	if metered {
+	if timed {
 		t0 = time.Now()
 	}
 	var resp wire.Frame
@@ -367,7 +424,12 @@ func (s *Server) apply(f wire.Frame, out []byte, metered bool) []byte {
 		s.obs.bad.Inc()
 		resp = wire.Frame{Kind: wire.StatusErr, Data: []byte("not a request: " + f.Kind.String())}
 	}
-	s.obs.applyLat.Since(t0)
+	if metered {
+		s.obs.applyLat.Since(t0)
+	}
+	if s.cfg.Flight.Enabled() && f.Traced() {
+		s.cfg.Flight.Record(flight.KServerApply, f.Trace, int64(time.Since(t0)))
+	}
 	out, _ = wire.Append(out, resp)
 	return out
 }
@@ -383,6 +445,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// A concurrent Shutdown is already draining; just wait it out.
 		return s.waitConns(ctx)
 	}
+	s.cfg.Flight.Anomaly(flight.KDrainStart, 0, 0)
 
 	s.mu.Lock()
 	if s.ln != nil {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"skipqueue/internal/core"
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/xrand"
 )
@@ -71,6 +72,11 @@ type Config struct {
 	// set (sampling retries, empty sweeps, per-shard pop counters) plus
 	// each shard's own core probes, merged into one snapshot.
 	Metrics bool
+	// Flight, if non-nil, receives a flight-recorder event for every Pop
+	// that exhausts its choice-of-two samples and falls back to the full
+	// empty-sweep (flight.KSweepFallback, arg = shard count), and is
+	// passed through to every shard's core.Config for lock-retry events.
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +115,7 @@ type Event struct {
 // Config.Metrics (see internal/obs for the nil-safe discipline).
 type probes struct {
 	set *obs.Set
+	fr  *flight.Recorder // contention event sink, nil-safe, set per Config.Flight
 
 	sampleRetries *obs.Counter   // claim attempts lost to a racing Pop
 	sweeps        *obs.Counter   // Pops that fell back to the full sweep
@@ -118,13 +125,14 @@ type probes struct {
 	popLat        *obs.Hist      // whole-Pop latency, sampling included
 }
 
-func newProbes(enabled bool, shards int) probes {
+func newProbes(enabled bool, shards int, fr *flight.Recorder) probes {
 	if !enabled {
-		return probes{}
+		return probes{fr: fr}
 	}
 	set := obs.NewSet("skipqueue.sharded")
 	p := probes{
 		set:           set,
+		fr:            fr,
 		sampleRetries: set.Counter("sample.retries"),
 		sweeps:        set.Counter("sweep.fallbacks"),
 		sweepRescues:  set.Counter("sweep.rescues"),
@@ -168,12 +176,13 @@ func New[V any](cfg Config) *PQ[V] {
 			// relaxed and skip the clock reads.
 			Relaxed: true,
 			Metrics: cfg.Metrics,
+			Flight:  cfg.Flight,
 		})
 	}
 	if n := uint64(cfg.Shards); n&(n-1) == 0 {
 		p.mask = n - 1
 	}
-	p.obs = newProbes(cfg.Metrics, cfg.Shards)
+	p.obs = newProbes(cfg.Metrics, cfg.Shards, cfg.Flight)
 	return p
 }
 
@@ -300,6 +309,7 @@ sampling:
 	// Empty-sweep fallback: scan every shard once, starting from the last
 	// sampled index so concurrent sweepers don't all hammer shard 0.
 	p.obs.sweeps.Inc()
+	p.obs.fr.Record(flight.KSweepFallback, 0, int64(n))
 	for t := 0; t < n; t++ {
 		s := (start + t) % n
 		if k, v, won := p.shards[s].DeleteMin(); won {

@@ -17,6 +17,18 @@
 // unused bytes on argless frames (Ping, Len requests, Insert acks), which
 // is noise next to the syscall batching the server and client both do.
 //
+// # Tracing
+//
+// A frame may additionally carry a 16-byte trace trailer between the arg
+// and the data: a uint64 trace ID plus the sender's wall-clock send
+// timestamp (int64 UnixNano). Its presence is flagged by the FlagTraced
+// bit (0x40) on the kind byte; Frame exposes the fields as Trace and
+// SendNano, and Append writes the trailer exactly when Trace is non-zero.
+// Untraced frames are byte-for-byte identical to the pre-trace protocol,
+// so an untraced client interoperates with a tracing server and vice
+// versa; only a *traced* frame sent to a pre-trace peer is rejected (as
+// ErrBadKind), which is why tracing is opt-in at the client.
+//
 // Decoding never panics on hostile input: oversized frames return
 // ErrFrameTooBig, short bodies ErrShortFrame, unknown kind bytes
 // ErrBadKind, and a connection that ends mid-frame io.ErrUnexpectedEOF.
@@ -64,6 +76,12 @@ const (
 	// StatusErr reports a malformed or unsupported request; data holds a
 	// human-readable message. The connection stays usable.
 	StatusErr Kind = 0x84
+
+	// FlagTraced marks a frame carrying the 16-byte trace trailer (trace
+	// ID + send timestamp) between arg and data. It is a wire-level flag:
+	// Decode strips it and populates Frame.Trace/Frame.SendNano, so Kind
+	// values held in Frame structs never carry it.
+	FlagTraced Kind = 0x40
 )
 
 // IsRequest reports whether k is a client-to-server op.
@@ -102,6 +120,9 @@ func (k Kind) String() string {
 const (
 	// headerSize is the body header: 1 kind byte + 8 arg bytes.
 	headerSize = 1 + 8
+	// traceSize is the optional trace trailer: 8 trace-ID bytes + 8
+	// send-timestamp bytes.
+	traceSize = 8 + 8
 	// lenSize is the frame length prefix.
 	lenSize = 4
 
@@ -128,26 +149,45 @@ var (
 
 // Frame is one decoded protocol frame. Data aliases the decode buffer; a
 // caller that retains it across the next Read must copy.
+//
+// Trace and SendNano are the optional trace trailer: a non-zero Trace on
+// Append emits a traced frame (FlagTraced set, 16 extra body bytes);
+// Decode fills both from a traced frame and leaves them zero otherwise.
 type Frame struct {
-	Kind Kind
-	Arg  int64
-	Data []byte
+	Kind     Kind
+	Arg      int64
+	Data     []byte
+	Trace    uint64
+	SendNano int64
 }
 
+// Traced reports whether the frame carries (or would carry) the trace
+// trailer.
+func (f Frame) Traced() bool { return f.Trace != 0 }
+
 // Append encodes f and appends the encoded frame to dst, returning the
-// extended slice. It fails with ErrFrameTooBig when Data exceeds MaxData
-// and ErrBadKind on a Kind that is neither request nor response.
+// extended slice. It fails with ErrFrameTooBig when Data exceeds the frame
+// budget and ErrBadKind on a Kind that is neither request nor response.
 func Append(dst []byte, f Frame) ([]byte, error) {
 	if !f.Kind.IsRequest() && !f.Kind.IsResponse() {
 		return dst, fmt.Errorf("%w: 0x%02x", ErrBadKind, byte(f.Kind))
 	}
-	if len(f.Data) > MaxData {
+	body := headerSize + len(f.Data)
+	kb := byte(f.Kind)
+	if f.Traced() {
+		body += traceSize
+		kb |= byte(FlagTraced)
+	}
+	if body > DefaultMaxFrame {
 		return dst, fmt.Errorf("%w: %d byte payload", ErrFrameTooBig, len(f.Data))
 	}
-	body := headerSize + len(f.Data)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
-	dst = append(dst, byte(f.Kind))
+	dst = append(dst, kb)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Arg))
+	if f.Traced() {
+		dst = binary.BigEndian.AppendUint64(dst, f.Trace)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.SendNano))
+	}
 	return append(dst, f.Data...), nil
 }
 
@@ -158,14 +198,26 @@ func Decode(body []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(body))
 	}
 	k := Kind(body[0])
+	traced := k&FlagTraced != 0
+	k &^= FlagTraced
 	if !k.IsRequest() && !k.IsResponse() {
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrBadKind, body[0])
 	}
-	return Frame{
+	f := Frame{
 		Kind: k,
 		Arg:  int64(binary.BigEndian.Uint64(body[1:headerSize])),
-		Data: body[headerSize:],
-	}, nil
+	}
+	off := headerSize
+	if traced {
+		if len(body) < headerSize+traceSize {
+			return Frame{}, fmt.Errorf("%w: %d bytes for a traced frame", ErrShortFrame, len(body))
+		}
+		f.Trace = binary.BigEndian.Uint64(body[off : off+8])
+		f.SendNano = int64(binary.BigEndian.Uint64(body[off+8 : off+16]))
+		off += traceSize
+	}
+	f.Data = body[off:]
+	return f, nil
 }
 
 // Read reads and decodes one frame from r. buf is an optional reusable

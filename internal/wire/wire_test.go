@@ -51,6 +51,115 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTracedRoundTrip: traced frames survive Append -> Read with trace ID
+// and send timestamp intact, for every kind and interleaved with untraced
+// frames (old and new framing on one stream).
+func TestTracedRoundTrip(t *testing.T) {
+	kinds := []Kind{OpInsert, OpDeleteMin, OpPeek, OpLen, OpPing,
+		StatusOK, StatusEmpty, StatusBusy, StatusShutdown, StatusErr}
+	var enc []byte
+	var want []Frame
+	tr := uint64(1)
+	for _, k := range kinds {
+		for _, payload := range [][]byte{nil, []byte("v")} {
+			traced := Frame{Kind: k, Arg: -42, Data: payload,
+				Trace: tr<<32 | 0xbeef, SendNano: 1700000000_000000000 + int64(tr)}
+			plain := Frame{Kind: k, Arg: 7, Data: payload}
+			for _, f := range []Frame{traced, plain} {
+				var err error
+				enc, err = Append(enc, f)
+				if err != nil {
+					t.Fatalf("Append(%v traced=%v): %v", f.Kind, f.Traced(), err)
+				}
+				want = append(want, f)
+			}
+			tr++
+		}
+	}
+	r := bytes.NewReader(enc)
+	var buf []byte
+	for i, w := range want {
+		got, rb, err := Read(r, buf, 0)
+		buf = rb
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != w.Kind || got.Arg != w.Arg || !bytes.Equal(got.Data, w.Data) ||
+			got.Trace != w.Trace || got.SendNano != w.SendNano {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestUntracedEncodingUnchanged: a frame without a trace ID encodes to the
+// exact pre-trace byte layout — the interop guarantee that lets untraced
+// clients and tracing servers mix.
+func TestUntracedEncodingUnchanged(t *testing.T) {
+	got, err := Append(nil, Frame{Kind: OpInsert, Arg: 0x0102030405060708, Data: []byte("ab")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 11, // length: 9 header + 2 data
+		0x01,                                           // OpInsert, no flag bit
+		0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // arg
+		'a', 'b',
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untraced encoding drifted:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestTracedWireLayout: the traced encoding is the untraced one with the
+// flag bit set and the 16-byte trailer spliced between arg and data.
+func TestTracedWireLayout(t *testing.T) {
+	got, err := Append(nil, Frame{Kind: OpPing, Trace: 0xcafe, SendNano: 0x1122334455667788})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 25, // length: 9 header + 16 trailer
+		0x45,                   // OpPing | FlagTraced
+		0, 0, 0, 0, 0, 0, 0, 0, // arg
+		0, 0, 0, 0, 0, 0, 0xca, 0xfe, // trace ID
+		0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, // send nano
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("traced encoding drifted:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestTracedShortTrailer: a flagged frame whose body cannot hold the
+// trailer is a typed framing error, not a panic or a misparse.
+func TestTracedShortTrailer(t *testing.T) {
+	for n := headerSize; n < headerSize+traceSize; n++ {
+		body := make([]byte, n)
+		body[0] = byte(OpInsert | FlagTraced)
+		if _, err := Decode(body); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("body %dB: err = %v, want ErrShortFrame", n, err)
+		}
+	}
+	// Exactly header+trailer decodes with empty data.
+	body := make([]byte, headerSize+traceSize)
+	body[0] = byte(OpDeleteMin | FlagTraced)
+	f, err := Decode(body)
+	if err != nil || len(f.Data) != 0 || f.Kind != OpDeleteMin {
+		t.Fatalf("minimal traced frame: %+v, %v", f, err)
+	}
+}
+
+// TestTracedOversize: the trailer counts against the frame budget, so the
+// largest traced payload is 16 bytes smaller than MaxData.
+func TestTracedOversize(t *testing.T) {
+	big := make([]byte, MaxData-traceSize)
+	if _, err := Append(nil, Frame{Kind: OpInsert, Trace: 1, Data: big}); err != nil {
+		t.Fatalf("MaxData-16 traced payload rejected: %v", err)
+	}
+	if _, err := Append(nil, Frame{Kind: OpInsert, Trace: 1, Data: append(big, 0)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("over-budget traced payload: err = %v, want ErrFrameTooBig", err)
+	}
+}
+
 // TestAppendRejects: oversized payloads and undefined kinds fail typed, and
 // leave dst untouched.
 func TestAppendRejects(t *testing.T) {
@@ -186,6 +295,13 @@ func FuzzRead(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{0, 0, 0, 9, 1, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Traced seeds: a well-formed traced frame, a flagged frame whose
+	// body is too short for the trailer, and a flagged unknown base kind.
+	traced, _ := Append(nil, Frame{Kind: OpDeleteMin, Trace: 0xdead, SendNano: 12345, Data: []byte("t")})
+	f.Add(traced)
+	f.Add([]byte{0, 0, 0, 9, byte(OpInsert | FlagTraced), 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 25, byte(0x3f | FlagTraced), 0, 0, 0, 0, 0, 0, 0, 0,
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
 	f.Fuzz(func(t *testing.T, in []byte) {
 		r := bytes.NewReader(in)
 		var buf []byte

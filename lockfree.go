@@ -33,6 +33,7 @@ func NewLockFree[K Ordered, V any](opts ...Option) *LockFree[K, V] {
 		Relaxed:  cfg.Relaxed,
 		Seed:     cfg.Seed,
 		Metrics:  cfg.Metrics,
+		Flight:   cfg.Flight,
 	})}
 }
 

@@ -37,6 +37,7 @@ func NewShardedPQ[V any](shards int, opts ...Option) *ShardedPQ[V] {
 		P:        cfg.P,
 		Seed:     cfg.Seed,
 		Metrics:  cfg.Metrics,
+		Flight:   cfg.Flight,
 	})}
 }
 

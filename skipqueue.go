@@ -29,6 +29,7 @@ package skipqueue
 
 import (
 	"skipqueue/internal/core"
+	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 )
 
@@ -70,6 +71,28 @@ func WithSeed(s uint64) Option { return func(c *core.Config) { c.Seed = s } }
 // default), every probe site compiles to a nil check — see
 // docs/OBSERVABILITY.md for the measured overhead of both states.
 func WithMetrics() Option { return func(c *core.Config) { c.Metrics = true } }
+
+// WithFlight attaches a flight recorder to the queue: a fixed-size
+// in-memory ring of contention events — lock re-acquisitions, failed
+// CASes, sweep fallbacks, elimination exchanges — dumpable at any moment
+// for post-hoc analysis of a latency spike. Independent of WithMetrics; a
+// nil recorder is equivalent to omitting the option.
+func WithFlight(r *FlightRecorder) Option { return func(c *core.Config) { c.Flight = r } }
+
+// FlightRecorder is the event ring WithFlight plugs into a queue; see
+// internal/flight for the recording discipline. Construct with
+// NewFlightRecorder, read with its Snapshot method (a FlightDump).
+type FlightRecorder = flight.Recorder
+
+// FlightDump is one atomic read of a FlightRecorder: the retained events in
+// timestamp order plus drop accounting.
+type FlightDump = flight.Dump
+
+// NewFlightRecorder returns a recorder named name with the given shard and
+// per-shard slot counts (0 selects the defaults: 8 shards × 4096 slots).
+func NewFlightRecorder(name string, shards, slots int) *FlightRecorder {
+	return flight.New(name, shards, slots)
+}
 
 // Stats are the queue's monotone operation counters.
 type Stats = core.Stats
