@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest obs-smoke
+.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest loadtest-wal crash-smoke obs-smoke
 
 all: build test
 
@@ -45,10 +45,15 @@ BENCH_TOLERANCE ?= 0.30
 # names recorded in BENCH_baseline.json.
 bench-check:
 	$(MAKE) loadtest LOADTEST_DURATION=5s LOADTEST_OUT=.bench_server_fresh.json
+	rm -rf .wal-bench
+	$(MAKE) loadtest LOADTEST_DURATION=5s LOADTEST_OUT=.bench_server_wal_fresh.json \
+		PQD_FLAGS="-wal-dir .wal-bench -wal-mode sync"
 	go run ./cmd/benchcheck -tolerance $(BENCH_TOLERANCE) \
 		-server-baseline BENCH_server.json -server-fresh .bench_server_fresh.json \
 		-native-baseline BENCH_baseline.json
-	rm -f .bench_server_fresh.json
+	go run ./cmd/benchcheck -tolerance $(BENCH_TOLERANCE) \
+		-server-baseline BENCH_server_wal.json -server-fresh .bench_server_wal_fresh.json
+	rm -rf .bench_server_fresh.json .bench_server_wal_fresh.json .wal-bench
 
 # Build the network daemon and its load generator into bin/.
 pqd:
@@ -66,13 +71,16 @@ obs-smoke:
 
 LOADTEST_DURATION ?= 10s
 LOADTEST_OUT ?= BENCH_server.json
+# Extra pqd flags for the loadtest run (e.g. "-wal-dir .wal -wal-mode sync"
+# for a durable loopback).
+PQD_FLAGS ?=
 
 # Loopback smoke test of the daemon: start pqd on an ephemeral port, drive
 # it with the closed-loop load generator (report lands in BENCH_server.json),
 # then SIGTERM it and require a clean drain (pqd exits 0).
 loadtest: pqd
 	@set -e; \
-	./bin/pqd -addr 127.0.0.1:0 -metrics 127.0.0.1:0 >.pqd.out 2>&1 & pid=$$!; \
+	./bin/pqd -addr 127.0.0.1:0 -metrics 127.0.0.1:0 $(PQD_FLAGS) >.pqd.out 2>&1 & pid=$$!; \
 	addr=""; \
 	for i in $$(seq 50); do \
 	  addr=$$(sed -n 's/.*listening addr=\([^ ]*\).*/\1/p' .pqd.out); \
@@ -82,6 +90,20 @@ loadtest: pqd
 	rc=0; ./bin/pqload -addr $$addr -duration $(LOADTEST_DURATION) -out $(LOADTEST_OUT) || rc=$$?; \
 	kill -TERM $$pid; wait $$pid || rc=$$?; \
 	cat .pqd.out; rm -f .pqd.out; exit $$rc
+
+# Durable loopback: the sync-mode WAL loadtest whose report is the
+# committed BENCH_server_wal.json baseline that bench-check guards.
+loadtest-wal:
+	rm -rf .wal-loadtest
+	$(MAKE) loadtest LOADTEST_OUT=BENCH_server_wal.json \
+		PQD_FLAGS="-wal-dir .wal-loadtest -wal-mode sync"
+	rm -rf .wal-loadtest
+
+# Crash-injection battery: 25 kill -9/recover cycles against a real pqd
+# under concurrent durable load, verifying exact multiset conservation of
+# every acknowledged operation (see internal/wal/crashtest).
+crash-smoke:
+	go test -count=1 -v -run TestCrashRecovery ./internal/wal/crashtest/ -crash-cycles=25
 
 short:
 	go test -short ./...

@@ -39,8 +39,8 @@ type serverReport struct {
 }
 
 type nativeBaseline struct {
-	Command    string                   `json:"command"`
-	Benchmarks map[string]nativeRecord  `json:"benchmarks"`
+	Command    string                     `json:"command"`
+	Benchmarks map[string]nativeRecord    `json:"benchmarks"`
 	Micro      map[string]json.RawMessage `json:"micro"`
 }
 

@@ -51,6 +51,7 @@ import (
 	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/server"
+	"skipqueue/internal/wal"
 )
 
 func main() {
@@ -123,6 +124,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsAddr = fs.String("metrics", "", "alias for -admin (backward compatible)")
 		flightSlots = fs.Int("flight", 0, "flight-recorder ring slots per shard (0 = recorder off)")
 		slo         = fs.Duration("slo", 0, "per-frame server latency budget; a traced frame exceeding it captures an anomaly dump (0 = off)")
+		walDir      = fs.String("wal-dir", "", "write-ahead-log directory; enables durability (empty = no WAL, in-memory only)")
+		walMode     = fs.String("wal-mode", "sync", "WAL durability mode: sync (ACK after fsync) or async (ACK immediately, fsync in background)")
+		walSyncIvl  = fs.Duration("wal-sync-interval", wal.DefaultSyncInterval, "max time appended WAL records wait for their group-commit fsync")
+		walSegBytes = fs.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
+		walSnapSegs = fs.Int("wal-snapshot-segments", 0, "segments retained before a rotation triggers snapshot compaction (0 = default 4, negative = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -143,7 +149,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	srv := server.New(server.Config{
+	// With -wal-dir the selected backend is wrapped in the durable
+	// decorator: state recovered from disk is rebuilt into it before the
+	// listener opens, and the server gates ACKs on the wrapper's Commit.
+	var durable *wal.Queue
+	if *walDir != "" {
+		mode, err := wal.ParseMode(*walMode)
+		if err != nil {
+			fmt.Fprintf(stderr, "pqd: %v\n", err)
+			return 2
+		}
+		q, rec, err := wal.OpenQueue(wal.Config{
+			Dir:              *walDir,
+			Mode:             mode,
+			SyncInterval:     *walSyncIvl,
+			SegmentBytes:     *walSegBytes,
+			SnapshotSegments: *walSnapSegs,
+			Metrics:          metrics,
+			Flight:           serverFR,
+		}, backend)
+		if err != nil {
+			fmt.Fprintf(stderr, "pqd: wal: %v\n", err)
+			return 1
+		}
+		durable = q
+		backend = q
+		fmt.Fprintf(stdout, "pqd: wal: recovered dir=%s mode=%s records=%d items=%d snapshot_items=%d torn=%v\n",
+			*walDir, *walMode, rec.Records, len(rec.Items), rec.SnapshotItems, rec.TornTail)
+	}
+
+	srvCfg := server.Config{
 		Backend:     backend,
 		MaxConns:    *maxConns,
 		MaxInflight: *maxInflight,
@@ -152,7 +187,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Metrics:     metrics,
 		Flight:      serverFR,
 		SLO:         *slo,
-	})
+	}
+	if durable != nil {
+		srvCfg.WAL = durable
+	}
+	srv := server.New(srvCfg)
 
 	// draining feeds /healthz; it flips the instant a drain signal arrives,
 	// before the data plane starts refusing, so load balancers stop routing
@@ -164,9 +203,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *adminAddr != "" {
 		publish("pqd.server", srv.Snapshot)
 		publish("pqd.backend", inst.Snapshot)
+		snapshots := func() []obs.Snapshot { return []obs.Snapshot{srv.Snapshot(), inst.Snapshot()} }
+		if durable != nil {
+			publish("pqd.wal", durable.Log().Snapshot)
+			snapshots = func() []obs.Snapshot {
+				return []obs.Snapshot{srv.Snapshot(), inst.Snapshot(), durable.Log().Snapshot()}
+			}
+		}
 		adm = admin.New(admin.Config{
 			Namespace: "pqd",
-			Snapshots: func() []obs.Snapshot { return []obs.Snapshot{srv.Snapshot(), inst.Snapshot()} },
+			Snapshots: snapshots,
 			Draining:  draining.Load,
 			Flight:    []*flight.Recorder{serverFR, structFR},
 		})
@@ -219,8 +265,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err := srv.Shutdown(ctx)
 		cancel()
 		<-serveErr
-		// The data plane has answered its last frame; only now retire the
-		// admin surface.
+		// The data plane is quiet; the WAL's last duty is a final sync and
+		// snapshot so the next boot replays a snapshot, not a long log tail.
+		if durable != nil {
+			if werr := durable.Close(); werr != nil {
+				fmt.Fprintf(stderr, "pqd: wal close: %v\n", werr)
+				if err == nil {
+					err = werr
+				}
+			} else {
+				fmt.Fprintf(stdout, "pqd: wal: closed items=%d\n", durable.Len())
+			}
+		}
+		// Only now retire the admin surface, so the final drain state —
+		// including the closing snapshot's probes — stays scrapeable.
 		stopAdmin()
 		if metrics {
 			snap := srv.Snapshot()
@@ -240,6 +298,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	case err := <-serveErr:
 		draining.Store(true)
+		if durable != nil {
+			durable.Close()
+		}
 		stopAdmin()
 		if err != nil && !errors.Is(err, server.ErrServerClosed) {
 			fmt.Fprintf(stderr, "pqd: serve: %v\n", err)

@@ -64,6 +64,7 @@ func TestObsSmoke(t *testing.T) {
 			"-admin", "127.0.0.1:0",
 			"-flight", "1024",
 			"-drain-window", "50ms",
+			"-wal-dir", t.TempDir(),
 		}, w, &stderr)
 	}()
 	var addr string
@@ -174,5 +175,11 @@ func TestObsSmoke(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	// The WAL boot and drain lines bracket the run.
+	for _, want := range []string{"pqd: wal: recovered", "pqd: wal: closed"} {
+		if !strings.Contains(w.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, w.String())
+		}
 	}
 }

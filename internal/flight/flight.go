@@ -101,6 +101,14 @@ const (
 	KBusyReject
 	// KDrainStart: a graceful drain began.
 	KDrainStart
+	// KFsyncStall: a WAL group-commit fsync exceeded the stall budget
+	// (internal/wal Config.StallAfter). Arg is the fsync duration in
+	// nanoseconds — the device, not the queue, is the suspect.
+	KFsyncStall
+	// KTornTail: WAL recovery found and truncated a torn final record —
+	// the expected signature of a mid-write crash. Arg is the number of
+	// records that replayed cleanly before the tear.
+	KTornTail
 )
 
 // kindNames indexes Kind.String; keep in sync with the constants above.
@@ -119,6 +127,8 @@ var kindNames = [...]string{
 	KSLOBreach:     "anomaly.slo_breach",
 	KBusyReject:    "anomaly.busy_reject",
 	KDrainStart:    "anomaly.drain_start",
+	KFsyncStall:    "anomaly.fsync_stall",
+	KTornTail:      "anomaly.torn_tail",
 }
 
 // String names the kind for dumps and tables.

@@ -112,6 +112,13 @@ type Report struct {
 	// inserted concurrently with the sweep), so this is advisory — but in
 	// a sequential history it must be zero.
 	FalseEmpties int
+
+	// Lost counts elements that were inserted, never delivered, and absent
+	// from the drained remainder. Analyze treats any loss as an error;
+	// AnalyzeCrash tolerates up to its caller-supplied allowance (a durably
+	// consumed pop whose ACK died with the process looks exactly like a
+	// lost element from the outside).
+	Lost int
 }
 
 // liveSet is an ordered multiset of live elements keyed (Key, ID),
@@ -165,6 +172,23 @@ func (l *liveSet) rankBelow(key int64) int {
 // returns a non-nil error exactly when conservation is violated (lost,
 // duplicated or phantom elements) or the recording is inconsistent.
 func Analyze(events []Event, remaining []Element) (*Report, error) {
+	return analyze(events, remaining, 0)
+}
+
+// AnalyzeCrash is Analyze for histories recorded across process crashes
+// (the WAL crash-injection harness). Duplicated elements, phantom
+// deliveries and key mismatches remain hard errors — a crash never
+// justifies them — but up to maxLost lost elements are tolerated and
+// reported in Report.Lost instead of failing the check. The allowance
+// exists for exactly one legitimate shape: a pop whose record went durable
+// but whose ACK died with the process consumed the element without anyone
+// learning its identity, so the caller must pass the count of such
+// unacknowledged pops (and no more).
+func AnalyzeCrash(events []Event, remaining []Element, maxLost int) (*Report, error) {
+	return analyze(events, remaining, maxLost)
+}
+
+func analyze(events []Event, remaining []Element, maxLost int) (*Report, error) {
 	ops := append([]Event(nil), events...)
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Stamp < ops[j].Stamp })
 
@@ -246,8 +270,19 @@ func Analyze(events []Event, remaining []Element) (*Report, error) {
 		}
 		delete(want, e.ID)
 	}
-	for id, k := range want {
-		return nil, fmt.Errorf("quality: id %d (key %d) inserted, never delivered, and missing from the remainder (lost)", id, k)
+	rep.Lost = len(want)
+	if rep.Lost > maxLost {
+		// Name one witness; pick the smallest ID so the message is stable.
+		var wid uint64
+		var wkey int64
+		first := true
+		for id, k := range want {
+			if first || id < wid {
+				wid, wkey, first = id, k, false
+			}
+		}
+		return nil, fmt.Errorf("quality: %d elements lost (allowance %d), e.g. id %d (key %d) inserted, never delivered, and missing from the remainder",
+			rep.Lost, maxLost, wid, wkey)
 	}
 
 	if len(rep.Ranks) > 0 {

@@ -52,6 +52,16 @@ type Backend interface {
 	Len() int
 }
 
+// Durability is the write-ahead-log hook (satisfied by internal/wal.Queue
+// and *wal.Log). Commit is the ACK barrier: it returns once every
+// operation applied before the call is durable (or immediately, in the
+// WAL's async mode). Sync forces durability regardless of mode — the
+// drain path's final barrier.
+type Durability interface {
+	Commit() error
+	Sync() error
+}
+
 // Defaults for the zero Config fields.
 const (
 	DefaultMaxConns    = 1024
@@ -92,6 +102,13 @@ type Config struct {
 	// capture (flight.KSLOBreach, arg = the span in nanoseconds). Only
 	// meaningful together with Flight.
 	SLO time.Duration
+	// WAL, if non-nil, makes ACKs durable: after a micro-batch that
+	// mutated the backend, the server waits for WAL.Commit before writing
+	// the batch's responses, so one group-commit fsync covers the whole
+	// batch (and, under concurrency, the batches of other connections in
+	// the same sync window). Configure the Backend as the matching
+	// wal.Queue wrapper — the server only drives the barrier.
+	WAL Durability
 }
 
 // probes are the server's observability hooks, nil without Config.Metrics.
@@ -316,13 +333,16 @@ func (s *Server) handle(nc net.Conn) {
 		out = out[:0]
 		traced = traced[:0]
 		batch := 0
+		mutated := false
 		for {
 			if fr.Enabled() && f.Traced() {
 				ts := fr.Now()
 				fr.RecordAt(ts, flight.KServerRead, f.Trace, f.SendNano)
 				traced = append(traced, tracedReq{trace: f.Trace, readTS: ts})
 			}
-			out = s.apply(f, out, metered)
+			var m bool
+			out, m = s.apply(f, out, metered)
+			mutated = mutated || m
 			batch++
 			if batch >= s.cfg.MaxInflight {
 				s.obs.stalls.Inc()
@@ -341,6 +361,17 @@ func (s *Server) handle(nc net.Conn) {
 			}
 		}
 		s.obs.batch.ObserveN(uint64(batch))
+		// Durable ACK: before the batch's responses leave the server, every
+		// mutation it applied must survive a crash. One Commit covers the
+		// whole micro-batch — group commit at the connection level on top of
+		// the WAL's own cross-connection batching. On a commit failure the
+		// connection drops without answering: an un-ACKed operation is
+		// indeterminate to the client, which is exactly what it is on disk.
+		if mutated && s.cfg.WAL != nil {
+			if err := s.cfg.WAL.Commit(); err != nil {
+				return
+			}
+		}
 		nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		if _, werr := nc.Write(out); werr != nil {
 			return
@@ -374,14 +405,16 @@ func (s *Server) finishBatch(fr *flight.Recorder, traced []tracedReq, batch int)
 }
 
 // apply executes one request frame against the backend and appends the
-// response frame to out. During a drain every request is answered SHUTDOWN
-// without touching the backend.
-func (s *Server) apply(f wire.Frame, out []byte, metered bool) []byte {
+// response frame to out; mutated reports whether the backend changed (the
+// signal that the batch needs a WAL commit before its replies flush).
+// During a drain every request is answered SHUTDOWN without touching the
+// backend.
+func (s *Server) apply(f wire.Frame, out []byte, metered bool) (_ []byte, mutated bool) {
 	s.obs.frames.Inc()
 	if s.draining.Load() {
 		s.obs.shutdownReplies.Inc()
 		out, _ = wire.Append(out, wire.Frame{Kind: wire.StatusShutdown})
-		return out
+		return out, false
 	}
 	// A traced frame is timed even without metrics: its apply duration is
 	// the span attribution's "structure time".
@@ -400,10 +433,12 @@ func (s *Server) apply(f wire.Frame, out []byte, metered bool) []byte {
 		copy(v, f.Data)
 		s.cfg.Backend.Push(f.Arg, v)
 		resp = wire.Frame{Kind: wire.StatusOK}
+		mutated = true
 	case wire.OpDeleteMin:
 		s.obs.deleteMin.Inc()
 		if p, v, ok := s.cfg.Backend.Pop(); ok {
 			resp = wire.Frame{Kind: wire.StatusOK, Arg: p, Data: v}
+			mutated = true
 		} else {
 			resp = wire.Frame{Kind: wire.StatusEmpty}
 		}
@@ -431,7 +466,7 @@ func (s *Server) apply(f wire.Frame, out []byte, metered bool) []byte {
 		s.cfg.Flight.Record(flight.KServerApply, f.Trace, int64(time.Since(t0)))
 	}
 	out, _ = wire.Append(out, resp)
-	return out
+	return out, mutated
 }
 
 // Shutdown drains the server: it stops accepting, keeps normal replies for
@@ -446,6 +481,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return s.waitConns(ctx)
 	}
 	s.cfg.Flight.Anomaly(flight.KDrainStart, 0, 0)
+	// Drain ordering: everything appended before the drain flag flipped is
+	// forced durable before any late frame is answered with SHUTDOWN. A
+	// client seeing SHUTDOWN may give up on the server for good, so the
+	// state it was ACKed up to that point must already be on disk.
+	if s.cfg.WAL != nil {
+		s.cfg.WAL.Sync()
+	}
 
 	s.mu.Lock()
 	if s.ln != nil {
@@ -466,6 +508,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	err := s.waitConns(ctx)
+	// Final barrier: every handler has returned, so every append has
+	// happened; one Sync makes the whole drained state durable even in
+	// async WAL mode (where per-batch Commits never waited).
+	if s.cfg.WAL != nil {
+		if serr := s.cfg.WAL.Sync(); err == nil {
+			err = serr
+		}
+	}
 	s.obs.drainNs.Add(uint64(time.Since(t0)))
 	return err
 }

@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"skipqueue/internal/wire"
+)
+
+// The on-disk record frame. Every mutation of the durable queue — one push
+// or one pop — is one frame:
+//
+//	uint32  length   big-endian, bytes of body (1..maxRecordBody)
+//	uint32  crc      CRC32-C (Castagnoli) of body
+//	body:
+//	  uint8   op       opPush or opPop
+//	  uint64  id       element identity (unique per queue lifetime)
+//	  -- opPush only --
+//	  int64   priority
+//	  bytes   value    the element payload; may be empty
+//
+// The CRC sits in the frame header, not the tail, so a torn write — the
+// only corruption a crash can produce under POSIX append semantics — is
+// detected no matter where the tear lands: a torn header fails the length
+// or CRC check, a torn body fails the CRC check. Records carry no LSN;
+// a record's LSN is its ordinal position counted from the owning segment's
+// header, which removes a whole class of disk/memory disagreement.
+
+// Op discriminates record bodies.
+const (
+	opPush byte = 0x01
+	opPop  byte = 0x02
+)
+
+const (
+	// recordHdrSize is the frame header: length + CRC.
+	recordHdrSize = 4 + 4
+	// pushFixedSize is a push body minus its value: op + id + priority.
+	pushFixedSize = 1 + 8 + 8
+	// popBodySize is a pop body: op + id.
+	popBodySize = 1 + 8
+	// maxRecordBody bounds one body. The value payload is already capped
+	// by the wire protocol's frame budget; the slack covers the fixed
+	// fields with room to spare.
+	maxRecordBody = wire.DefaultMaxFrame + 64
+)
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support on
+// both amd64 and arm64, and the conventional choice for storage framing).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed decode errors. ErrTornRecord covers every way a record can be
+// invalid — short header, short body, bad length, CRC mismatch, unknown op
+// — because a reader cannot distinguish a torn final write from garbage,
+// and must treat both the same way: stop replaying at the last good record.
+var (
+	ErrTornRecord = errors.New("wal: invalid or torn record")
+)
+
+// record is one decoded WAL record. Value aliases the decode buffer.
+type record struct {
+	op    byte
+	id    uint64
+	prio  int64
+	value []byte
+}
+
+// appendPushRecord appends the framed encoding of a push to dst.
+func appendPushRecord(dst []byte, id uint64, prio int64, value []byte) []byte {
+	body := pushFixedSize + len(value)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // CRC backfilled below
+	bodyAt := len(dst)
+	dst = append(dst, opPush)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(prio))
+	dst = append(dst, value...)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[bodyAt:], castagnoli))
+	return dst
+}
+
+// appendPopRecord appends the framed encoding of a pop to dst.
+func appendPopRecord(dst []byte, id uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, popBodySize)
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	bodyAt := len(dst)
+	dst = append(dst, opPop)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[bodyAt:], castagnoli))
+	return dst
+}
+
+// decodeRecord decodes one framed record from the front of data, returning
+// the record and the total frame size consumed. Any invalid byte — short
+// frame, oversized length, CRC mismatch, unknown op, malformed body —
+// returns ErrTornRecord; decodeRecord never panics on hostile input.
+func decodeRecord(data []byte) (record, int, error) {
+	if len(data) < recordHdrSize {
+		return record{}, 0, fmt.Errorf("%w: %d header bytes", ErrTornRecord, len(data))
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	if n < popBodySize || n > maxRecordBody {
+		return record{}, 0, fmt.Errorf("%w: body length %d", ErrTornRecord, n)
+	}
+	if len(data) < recordHdrSize+n {
+		return record{}, 0, fmt.Errorf("%w: %d of %d body bytes", ErrTornRecord, len(data)-recordHdrSize, n)
+	}
+	want := binary.BigEndian.Uint32(data[4:])
+	body := data[recordHdrSize : recordHdrSize+n]
+	if crc32.Checksum(body, castagnoli) != want {
+		return record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrTornRecord)
+	}
+	rec := record{op: body[0], id: binary.BigEndian.Uint64(body[1:9])}
+	switch rec.op {
+	case opPush:
+		if n < pushFixedSize {
+			return record{}, 0, fmt.Errorf("%w: push body %d bytes", ErrTornRecord, n)
+		}
+		rec.prio = int64(binary.BigEndian.Uint64(body[9:17]))
+		rec.value = body[pushFixedSize:]
+	case opPop:
+		if n != popBodySize {
+			return record{}, 0, fmt.Errorf("%w: pop body %d bytes", ErrTornRecord, n)
+		}
+	default:
+		return record{}, 0, fmt.Errorf("%w: op 0x%02x", ErrTornRecord, rec.op)
+	}
+	return rec, recordHdrSize + n, nil
+}
+
+// scanRecords decodes consecutive records from data, calling fn for each.
+// It returns the number of cleanly consumed bytes and the number of
+// records, stopping at the first invalid record (err != nil, wrapping
+// ErrTornRecord) or when fn returns false. The bytes past the returned
+// offset are exactly the torn/garbage tail a recovery should truncate.
+func scanRecords(data []byte, fn func(rec record) bool) (consumed, records int, err error) {
+	for len(data[consumed:]) > 0 {
+		rec, n, derr := decodeRecord(data[consumed:])
+		if derr != nil {
+			return consumed, records, derr
+		}
+		consumed += n
+		records++
+		if fn != nil && !fn(rec) {
+			return consumed, records, nil
+		}
+	}
+	return consumed, records, nil
+}
