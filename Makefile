@@ -26,13 +26,15 @@ check: vet test
 # Short metrics-on pass over the native queues: exercises every probe site
 # and prints the snapshot tables. Also records the sharded-vs-strict head-to-
 # head at 8 goroutines (BENCH_sharded.txt), the elimination front-end vs the
-# strict queue on the 50/50 hot-key workload (BENCH_elim.txt), and runs a
-# short loopback pass of the network daemon, leaving its latency report in
-# BENCH_server.json.
+# strict queue on the 50/50 hot-key workload (BENCH_elim.txt), the four-way
+# relaxed-backend shootout including the spray queue (BENCH_spray.txt), and
+# runs a short loopback pass of the network daemon, leaving its latency
+# report in BENCH_server.json.
 bench-smoke:
 	go run ./cmd/skipbench -metrics -metrics-duration 200ms
 	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Sharded | tee BENCH_sharded.txt
 	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Elim -keyspan 1 -metrics | tee BENCH_elim.txt
+	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Sharded,Elim,Spray -spray-k 8 | tee BENCH_spray.txt
 	$(MAKE) loadtest LOADTEST_DURATION=2s
 
 BENCH_TOLERANCE ?= 0.30
@@ -53,7 +55,10 @@ bench-check:
 		-native-baseline BENCH_baseline.json
 	go run ./cmd/benchcheck -tolerance $(BENCH_TOLERANCE) \
 		-server-baseline BENCH_server_wal.json -server-fresh .bench_server_wal_fresh.json
-	rm -rf .bench_server_fresh.json .bench_server_wal_fresh.json .wal-bench
+	go run ./cmd/nativebench -workers 8 -duration 2s -structures StrictPQ,Sharded,Elim,Spray -spray-k 8 | tee .bench_spray_fresh.txt
+	go run ./cmd/benchcheck -tolerance $(BENCH_TOLERANCE) \
+		-native-report .bench_spray_fresh.txt -require "Spray>=StrictPQ"
+	rm -rf .bench_server_fresh.json .bench_server_wal_fresh.json .bench_spray_fresh.txt .wal-bench
 
 # Build the network daemon and its load generator into bin/.
 pqd:

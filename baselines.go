@@ -152,4 +152,5 @@ var (
 	_ Instrumented = (*GlobalLockHeap[int, int])(nil)
 	_ Instrumented = (*FunnelList[int, int])(nil)
 	_ Instrumented = (*Map[int, int])(nil)
+	_ Instrumented = (*SprayPQ[int])(nil)
 )

@@ -16,6 +16,12 @@
 //     above (1+tolerance)×baseline fails (more ns per op = less
 //     throughput).
 //
+//   - Structure head-to-heads: -native-report (a nativebench text report,
+//     e.g. the committed BENCH_spray.txt) plus -require, a comma list of
+//     "Challenger>=Champion" pairs. The challenger's ops/sec must reach at
+//     least (1-tolerance)×champion — the gate that keeps a relaxed
+//     backend honest about actually beating the strict queue it relaxes.
+//
 // The default tolerance is deliberately wide (30%): the guard exists to
 // catch structural regressions — an accidental O(n) scan, a lost fast
 // path — not scheduler noise on a shared box.
@@ -30,6 +36,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type serverReport struct {
@@ -60,6 +67,9 @@ func readJSON(path string, v any) error {
 // the name (GOMAXPROCS suffix stripped) and the ns/op figure.
 var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// reportLine matches a nativebench throughput line, `StrictPQ  1234567 ops/sec`.
+var reportLine = regexp.MustCompile(`(?m)^(\S+)\s+([0-9]+) ops/sec`)
+
 func median(xs []float64) float64 {
 	sort.Float64s(xs)
 	return xs[len(xs)/2]
@@ -71,6 +81,8 @@ func main() {
 		serverBaseline = flag.String("server-baseline", "", "committed pqload report (BENCH_server.json)")
 		serverFresh    = flag.String("server-fresh", "", "fresh pqload report to compare against -server-baseline")
 		nativeBase     = flag.String("native-baseline", "", "committed go-test bench medians (BENCH_baseline.json); reruns and compares")
+		nativeReport   = flag.String("native-report", "", "nativebench text report (e.g. BENCH_spray.txt) for -require head-to-heads")
+		require        = flag.String("require", "Spray>=StrictPQ", "comma list of Challenger>=Champion throughput requirements for -native-report")
 		benchTime      = flag.String("benchtime", "0.5s", "benchtime for the native rerun")
 		count          = flag.Int("count", 5, "repetitions for the native rerun (median is compared)")
 	)
@@ -171,8 +183,48 @@ func main() {
 		}
 	}
 
-	if *serverBaseline == "" && *nativeBase == "" {
-		fmt.Fprintln(os.Stderr, "benchcheck: nothing to compare (see -server-baseline/-server-fresh and -native-baseline)")
+	if *nativeReport != "" {
+		data, err := os.ReadFile(*nativeReport)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		rates := map[string]float64{}
+		for _, m := range reportLine.FindAllStringSubmatch(string(data), -1) {
+			ops, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			rates[m[1]] = ops
+		}
+		for _, req := range strings.Split(*require, ",") {
+			req = strings.TrimSpace(req)
+			parts := strings.SplitN(req, ">=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "benchcheck: bad -require term %q (want Challenger>=Champion)\n", req)
+				os.Exit(2)
+			}
+			challenger, champion := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			cOps, cOK := rates[challenger]
+			bOps, bOK := rates[champion]
+			if !cOK || !bOK {
+				fail("%s: structure missing from %s (have %v)", req, *nativeReport, rates)
+				continue
+			}
+			floor := bOps * (1 - *tolerance)
+			status := "ok"
+			if cOps < floor {
+				fail("%s: %s %.0f ops/s is below %.0f (%s %.0f, tolerance %.0f%%)",
+					req, challenger, cOps, floor, champion, bOps, *tolerance*100)
+				status = "FAIL"
+			}
+			fmt.Printf("report  %-34s %s %12.0f vs %s %12.0f  %s\n",
+				req, challenger, cOps, champion, bOps, status)
+		}
+	}
+
+	if *serverBaseline == "" && *nativeBase == "" && *nativeReport == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to compare (see -server-baseline/-server-fresh, -native-baseline and -native-report)")
 		os.Exit(2)
 	}
 	if failed {

@@ -94,9 +94,16 @@ type elimQ struct {
 func (s elimQ) insert(k int64)  { s.q.Push(k, k) }
 func (s elimQ) deleteMin() bool { _, _, ok := s.q.Pop(); return ok }
 
+type sprayQ struct {
+	q *skipqueue.SprayPQ[int64]
+}
+
+func (s sprayQ) insert(k int64)  { s.q.Push(k, k) }
+func (s sprayQ) deleteMin() bool { _, _, ok := s.q.Pop(); return ok }
+
 // build constructs a structure by name. The second result exposes the
 // structure's observability probes (zero-valued unless metrics is set).
-func build(name string, capacity, shards, elimSlots int, metrics bool) (queue, skipqueue.Instrumented, bool) {
+func build(name string, capacity, shards, elimSlots, sprayK int, metrics bool) (queue, skipqueue.Instrumented, bool) {
 	opts := []skipqueue.Option{skipqueue.WithSeed(1)}
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
@@ -132,6 +139,9 @@ func build(name string, capacity, shards, elimSlots int, metrics bool) (queue, s
 	case "ElimSharded":
 		q := skipqueue.NewElimShardedPQ[int64](elimSlots, shards, opts...)
 		return elimQ{q}, q, true
+	case "Spray":
+		q := skipqueue.NewSprayPQ[int64](sprayK, opts...)
+		return sprayQ{q}, q, true
 	}
 	return nil, nil, false
 }
@@ -146,6 +156,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		shards     = flag.Int("shards", 0, "shard count for the Sharded structures (0 = two per GOMAXPROCS)")
 		elimSlots  = flag.Int("elim-slots", 0, "exchanger slots for the Elim structures (0 = one per core)")
+		sprayK     = flag.Int("spray-k", 0, "contention width the Spray structure shapes its walk for (0 = GOMAXPROCS)")
 		keyspan    = flag.Int64("keyspan", 1<<40, "keys are drawn uniformly from [0, keyspan); 1 pins every op to one hot key")
 		metrics    = flag.Bool("metrics", false, "enable the queues' internal probes and print a snapshot per structure")
 		metricsOut = flag.String("metrics-out", "", "write all snapshots to this file as JSON (implies -metrics)")
@@ -161,7 +172,7 @@ func main() {
 	snapshots := map[string]skipqueue.Snapshot{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *shards, *elimSlots, *metrics)
+		q, inst, ok := build(name, *initial+int(duration.Seconds()*5_000_000), *shards, *elimSlots, *sprayK, *metrics)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nativebench: unknown structure %q\n", name)
 			os.Exit(2)

@@ -11,6 +11,7 @@
 //	pqd -backend sharded     # relaxed choice-of-two multi-queue (-shards)
 //	pqd -backend elim        # elimination front-end over skipqueue (-elim-slots)
 //	pqd -backend elimsharded # elimination front-end over sharded
+//	pqd -backend spray       # SprayList-style relaxed near-min deletion (-spray-k)
 //
 // Backpressure: -max-conns bounds concurrent connections (excess gets one
 // BUSY frame), -max-inflight bounds frames applied per connection between
@@ -61,9 +62,10 @@ func main() {
 // newBackend builds the queue family named by -backend. The second return
 // is the same object's observability surface. shards only applies to the
 // sharded-backed backends (0 = the default of two shards per GOMAXPROCS);
-// elimSlots only to the elimination front-ends (0 = one slot per core); fr,
-// when non-nil, receives the structure's contention events.
-func newBackend(name string, metrics bool, shards, elimSlots int, fr *flight.Recorder) (server.Backend, skipqueue.Instrumented, error) {
+// elimSlots only to the elimination front-ends (0 = one slot per core);
+// sprayK only to the spray backend (0 = GOMAXPROCS); fr, when non-nil,
+// receives the structure's contention events.
+func newBackend(name string, metrics bool, shards, elimSlots, sprayK int, fr *flight.Recorder) (server.Backend, skipqueue.Instrumented, error) {
 	var opts []skipqueue.Option
 	if metrics {
 		opts = append(opts, skipqueue.WithMetrics())
@@ -93,8 +95,11 @@ func newBackend(name string, metrics bool, shards, elimSlots int, fr *flight.Rec
 	case "elimsharded":
 		pq := skipqueue.NewElimShardedPQ[[]byte](elimSlots, shards, opts...)
 		return pq, pq, nil
+	case "spray":
+		pq := skipqueue.NewSprayPQ[[]byte](sprayK, opts...)
+		return pq, pq, nil
 	}
-	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree, glheap, sharded, elim or elimsharded)", name)
+	return nil, nil, fmt.Errorf("unknown backend %q (want skipqueue, relaxed, lockfree, glheap, sharded, elim, elimsharded or spray)", name)
 }
 
 // publish registers fn under name in the expvar registry, tolerating
@@ -112,9 +117,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:9400", "TCP listen address")
-		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap, sharded, elim, elimsharded")
+		backendName = fs.String("backend", "skipqueue", "queue backend: skipqueue, relaxed, lockfree, glheap, sharded, elim, elimsharded, spray")
 		shards      = fs.Int("shards", 0, "shard count for the sharded backends (0 = two per GOMAXPROCS)")
 		elimSlots   = fs.Int("elim-slots", 0, "exchanger slots for the elim backends (0 = one per core)")
+		sprayK      = fs.Int("spray-k", 0, "contention width the spray backend shapes its walk for (0 = GOMAXPROCS)")
 		maxConns    = fs.Int("max-conns", server.DefaultMaxConns, "max concurrent connections; excess is refused with BUSY")
 		maxInflight = fs.Int("max-inflight", server.DefaultMaxInflight, "max frames applied per connection between response flushes")
 		maxFrame    = fs.Int("max-frame", 0, "max accepted frame size in bytes (0 = protocol default, 1MiB)")
@@ -143,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		serverFR = flight.New("server", 0, *flightSlots)
 		structFR = flight.New("structure", 0, *flightSlots)
 	}
-	backend, inst, err := newBackend(*backendName, metrics, *shards, *elimSlots, structFR)
+	backend, inst, err := newBackend(*backendName, metrics, *shards, *elimSlots, *sprayK, structFR)
 	if err != nil {
 		fmt.Fprintf(stderr, "pqd: %v\n", err)
 		return 2

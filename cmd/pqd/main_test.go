@@ -169,9 +169,9 @@ func TestRunBadBackend(t *testing.T) {
 // TestRunAllBackends: every advertised backend selection constructs and
 // serves at least one op end to end.
 func TestRunAllBackends(t *testing.T) {
-	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap", "sharded", "elim", "elimsharded"} {
+	for _, backend := range []string{"skipqueue", "relaxed", "lockfree", "glheap", "sharded", "elim", "elimsharded", "spray"} {
 		t.Run(backend, func(t *testing.T) {
-			b, inst, err := newBackend(backend, true, 0, 0, nil)
+			b, inst, err := newBackend(backend, true, 0, 0, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -189,14 +189,14 @@ func TestRunAllBackends(t *testing.T) {
 // TestShardedBackendShards: -shards is honored, and the zero default
 // resolves to at least two shards.
 func TestShardedBackendShards(t *testing.T) {
-	b, _, err := newBackend("sharded", false, 6, 0, nil)
+	b, _, err := newBackend("sharded", false, 6, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ShardedPQ[[]byte]).Shards(); got != 6 {
 		t.Fatalf("Shards = %d, want 6", got)
 	}
-	b, _, err = newBackend("sharded", false, 0, 0, nil)
+	b, _, err = newBackend("sharded", false, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,18 +208,37 @@ func TestShardedBackendShards(t *testing.T) {
 // TestElimBackendSlots: -elim-slots is honored on both elimination
 // backends, and the zero default resolves to at least four slots.
 func TestElimBackendSlots(t *testing.T) {
-	b, _, err := newBackend("elim", false, 0, 6, nil)
+	b, _, err := newBackend("elim", false, 0, 6, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ElimPQ[[]byte]).Slots(); got != 6 {
 		t.Fatalf("Slots = %d, want 6", got)
 	}
-	b, _, err = newBackend("elimsharded", false, 3, 0, nil)
+	b, _, err = newBackend("elimsharded", false, 3, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.(*skipqueue.ElimPQ[[]byte]).Slots(); got < 4 {
 		t.Fatalf("default Slots = %d, want >= 4", got)
+	}
+}
+
+// TestSprayBackendK: -spray-k is honored, and the zero default resolves
+// to at least two deleters' worth of spray.
+func TestSprayBackendK(t *testing.T) {
+	b, _, err := newBackend("spray", false, 0, 0, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.(*skipqueue.SprayPQ[[]byte]).K(); got != 16 {
+		t.Fatalf("K = %d, want 16", got)
+	}
+	b, _, err = newBackend("spray", false, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.(*skipqueue.SprayPQ[[]byte]).K(); got < 2 {
+		t.Fatalf("default K = %d, want >= 2", got)
 	}
 }

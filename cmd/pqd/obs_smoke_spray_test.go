@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"skipqueue/internal/client"
+)
+
+// TestObsSmokeSpray is the spray backend's slice of the observability
+// smoke: boot the daemon with -backend spray, drive real traffic, and
+// require every metric in testdata/metrics_spray.golden — the published
+// spray catalog (spray.walks, spray.collisions, claim.retries,
+// scan.fallbacks, the pop histogram) merged with the lock-free
+// substrate's probes under the skipqueue.spray set.
+func TestObsSmokeSpray(t *testing.T) {
+	w := &addrWriter{addrCh: make(chan string, 1)}
+	var stderr bytes.Buffer
+	exitc := make(chan int, 1)
+	go func() {
+		exitc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-admin", "127.0.0.1:0",
+			"-backend", "spray",
+			"-spray-k", "4",
+			"-flight", "1024",
+			"-drain-window", "50ms",
+		}, w, &stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-w.addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+	}
+	am := adminRe.FindStringSubmatch(w.String())
+	if am == nil {
+		t.Fatalf("daemon never announced its admin address:\n%s", w.String())
+	}
+	adminAddr := am[1]
+
+	cl, err := client.Dial(client.Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const ops = 200
+	for i := 0; i < ops; i++ {
+		if err := cl.Insert(int64(i%37), []byte("spray-smoke")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		if _, _, found, err := cl.DeleteMin(); err != nil || !found {
+			t.Fatalf("DeleteMin %d: found=%v err=%v", i, found, err)
+		}
+	}
+	// One extra pop drains into the EMPTY fallback so pop.empties moves.
+	if _, _, found, err := cl.DeleteMin(); err != nil || found {
+		t.Fatalf("drained queue: found=%v err=%v", found, err)
+	}
+
+	code, body := adminGet(t, adminAddr, "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "metrics_spray.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range strings.Fields(string(golden)) {
+		if !strings.Contains(body, name) {
+			t.Errorf("exposition missing golden metric %s", name)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full exposition:\n%s", body)
+	}
+	// The traffic above ran a real workload, so the scan path must have
+	// delivered every element and certified the final EMPTY.
+	for _, want := range []string{
+		"pqd_skipqueue_spray_scan_pops_total 200",
+		"pqd_skipqueue_spray_pop_empties_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full exposition:\n%s", body)
+	}
+
+	cl.Close()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitc:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

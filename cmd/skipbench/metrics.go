@@ -35,6 +35,7 @@ func runMetrics(w *os.File, workers int, d time.Duration, seed uint64, outPath s
 	fl := skipqueue.NewFunnelList[int64, int64](skipqueue.WithMetrics())
 	sh := skipqueue.NewShardedPQ[int64](0, skipqueue.WithSeed(seed), skipqueue.WithMetrics())
 	el := skipqueue.NewElimPQ[int64](0, skipqueue.WithSeed(seed), skipqueue.WithMetrics())
+	sp := skipqueue.NewSprayPQ[int64](0, skipqueue.WithSeed(seed), skipqueue.WithMetrics())
 	targets := []target{
 		{"SkipQueue", sq, func(k int64) { sq.Insert(k, k) }, func() { sq.DeleteMin() }},
 		{"LockFree", lf, func(k int64) { lf.Insert(k, k) }, func() { lf.DeleteMin() }},
@@ -42,6 +43,7 @@ func runMetrics(w *os.File, workers int, d time.Duration, seed uint64, outPath s
 		{"FunnelList", fl, func(k int64) { fl.Insert(k, k) }, func() { fl.DeleteMin() }},
 		{"Sharded", sh, func(k int64) { sh.Push(k, k) }, func() { sh.Pop() }},
 		{"Elim", el, func(k int64) { el.Push(k, k) }, func() { el.Pop() }},
+		{"Spray", sp, func(k int64) { sp.Push(k, k) }, func() { sp.Pop() }},
 	}
 
 	snapshots := map[string]skipqueue.Snapshot{}

@@ -1,0 +1,129 @@
+package client_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"skipqueue"
+	"skipqueue/internal/client"
+	"skipqueue/internal/server"
+)
+
+// TestPropertySprayMultiset runs the random-op property test against a
+// server backed by the relaxed SprayPQ. Like the sharded variant, the
+// backend only promises multiset semantics — a Pop may return a near-
+// minimal element — so the model is a local multiset and the checks are
+// the relaxed contract:
+//
+//   - every DeleteMin result was previously inserted and not yet
+//     delivered, with a priority no smaller than the model minimum;
+//   - EMPTY appears iff the model is empty (the full-scan fallback is the
+//     only EMPTY certificate, so a sequential client never sees a false
+//     one);
+//   - Len is exact between ops, and the final drain empties the model.
+func TestPropertySprayMultiset(t *testing.T) {
+	backend := skipqueue.NewSprayPQ[[]byte](8, skipqueue.WithSeed(9))
+	_, addr := startServer(t, server.Config{Backend: backend})
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	model := map[string]int{} // "prio/value" -> multiplicity
+	size := 0
+	minPrio := func() int64 {
+		min := int64(1 << 62)
+		for k := range model {
+			var p int64
+			fmt.Sscanf(k, "%d/", &p)
+			if p < min {
+				min = p
+			}
+		}
+		return min
+	}
+	take := func(prio int64, val []byte, where string, i int) {
+		t.Helper()
+		k := fmt.Sprintf("%d/%s", prio, val)
+		if model[k] == 0 {
+			t.Fatalf("op %d (%s): got %q, which is not held", i, where, k)
+		}
+		if min := minPrio(); prio < min {
+			t.Fatalf("op %d (%s): got priority %d, smaller than true minimum %d", i, where, prio, min)
+		}
+		model[k]--
+		if model[k] == 0 {
+			delete(model, k)
+		}
+		size--
+	}
+
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			prio := int64(rng.Intn(64) - 32)
+			val := []byte(fmt.Sprintf("v%d", i))
+			if err := cl.Insert(prio, val); err != nil {
+				t.Fatalf("op %d Insert: %v", i, err)
+			}
+			model[fmt.Sprintf("%d/%s", prio, val)]++
+			size++
+		case 4, 5, 6:
+			prio, val, ok, err := cl.DeleteMin()
+			if err != nil {
+				t.Fatalf("op %d DeleteMin: %v", i, err)
+			}
+			if size == 0 {
+				if ok {
+					t.Fatalf("op %d: DeleteMin on empty returned %d/%q", i, prio, val)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("op %d: DeleteMin returned EMPTY with %d elements held", i, size)
+			}
+			take(prio, val, "DeleteMin", i)
+		case 7, 8:
+			prio, val, ok, err := cl.Peek()
+			if err != nil {
+				t.Fatalf("op %d Peek: %v", i, err)
+			}
+			if ok != (size > 0) {
+				t.Fatalf("op %d: Peek ok=%v with %d elements held", i, ok, size)
+			}
+			if ok {
+				if k := fmt.Sprintf("%d/%s", prio, val); model[k] == 0 {
+					t.Fatalf("op %d: Peek returned %q, which is not held", i, k)
+				}
+			}
+		case 9:
+			n, err := cl.Len()
+			if err != nil {
+				t.Fatalf("op %d Len: %v", i, err)
+			}
+			if n != size {
+				t.Fatalf("op %d: Len = %d, want %d", i, n, size)
+			}
+		}
+	}
+	// Drain: everything held must come back exactly once.
+	for size > 0 {
+		prio, val, ok, err := cl.DeleteMin()
+		if err != nil {
+			t.Fatalf("drain DeleteMin: %v", err)
+		}
+		if !ok {
+			t.Fatalf("drain: EMPTY with %d elements held", size)
+		}
+		take(prio, val, "drain", -1)
+	}
+	if _, _, ok, err := cl.DeleteMin(); err != nil || ok {
+		t.Fatalf("post-drain DeleteMin = ok=%v err=%v, want EMPTY", ok, err)
+	}
+	if len(model) != 0 {
+		t.Fatalf("model still holds %d entries after drain", len(model))
+	}
+}

@@ -81,12 +81,22 @@ func TestReconnect(t *testing.T) {
 	if err := cl.Ping(); err == nil {
 		t.Fatal("Ping succeeded against a closed server")
 	}
-	// ...until a new server appears on the same address.
+	// ...until a new server appears on the same address. The old listener
+	// may linger in TIME_WAIT for a moment after srv.Close, so retry the
+	// rebind rather than skipping the whole reconnect check on the first
+	// EADDRINUSE.
 	backend := skipqueue.NewPQ[[]byte]()
 	srv2 := server.New(server.Config{Backend: backend})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		t.Skipf("could not rebind %s: %v", addr, err)
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 40 {
+			t.Skipf("could not rebind %s after %d attempts: %v", addr, attempt, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	go srv2.Serve(ln)
 	defer srv2.Close()

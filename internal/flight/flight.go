@@ -109,6 +109,10 @@ const (
 	// the expected signature of a mid-write crash. Arg is the number of
 	// records that replayed cleanly before the tear.
 	KTornTail
+	// KSprayFallback: every spray walk of a Pop failed to claim and the
+	// operation fell back to the linear head scan (internal/spray). Arg
+	// is the number of spray attempts that came up empty.
+	KSprayFallback
 )
 
 // kindNames indexes Kind.String; keep in sync with the constants above.
@@ -129,6 +133,7 @@ var kindNames = [...]string{
 	KDrainStart:    "anomaly.drain_start",
 	KFsyncStall:    "anomaly.fsync_stall",
 	KTornTail:      "anomaly.torn_tail",
+	KSprayFallback: "spray.fallback",
 }
 
 // String names the kind for dumps and tables.

@@ -1,0 +1,237 @@
+package lincheck
+
+// Relaxed-history checking, the multiset companion of Verify. A spray
+// queue (internal/spray) deliberately returns near-minimal elements, so
+// Definition 1's "minimal element of I − D" test is the wrong question —
+// but three of its consequences survive relaxation, and this file checks
+// exactly those against a stamp-serialized history:
+//
+//  1. Conservation, exactly: every delivery consumes one prior insert
+//     (identified by Key and ID, so duplicate priorities stay distinct),
+//     nothing is delivered twice, and inserts minus deliveries equals the
+//     drained remainder. Violations are errors, same as Verify.
+//
+//  2. EMPTY discipline: an EMPTY whose stamp falls while live elements
+//     exist is counted as a false EMPTY. Concurrent histories may contain
+//     them legitimately (each live element may be claimed concurrently
+//     with the certifying scan), so the count is reported, not fatal —
+//     but a sequential history must show zero, and tests assert that.
+//
+//  3. Rank discipline: each delivery's rank error — how many live
+//     elements held a strictly smaller key at its serialization stamp —
+//     is recorded, and RelaxedEnvelope.Check asserts the distribution
+//     against the backend's promised shape (for a spray shaped for p
+//     deleters, O(p·log³ p) w.h.p.; see quality.BoundSpray).
+//
+// An insert's stamp is drawn after its element became visible, so a
+// racing delivery can carry an earlier stamp than its own insert; the
+// replay parks such deliveries as in-flight and pairs them when the
+// insert event arrives, erroring only if no insert ever shows up.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RelaxedOp is one recorded operation of a relaxed multiset history.
+// Histories mix inserts and deletes; VerifyRelaxed orders them by Stamp.
+type RelaxedOp struct {
+	// Insert is true for an insert of (Key, ID); false for a delete that
+	// returned (Key, ID) when OK, or EMPTY when !OK.
+	Insert bool
+	// Key is the element's priority.
+	Key int64
+	// ID is the element's unique identity within the run.
+	ID uint64
+	// OK is false only for EMPTY deletes.
+	OK bool
+	// Stamp is the operation's serialization stamp.
+	Stamp int64
+}
+
+// RelaxedElement identifies one element found in the queue after the run.
+type RelaxedElement struct {
+	Key int64
+	ID  uint64
+}
+
+// RelaxedReport summarizes a history that passed conservation.
+type RelaxedReport struct {
+	Inserts int
+	Deletes int
+	Empties int
+
+	// Ranks holds each delivery's rank error in replay order; MeanRank,
+	// P99Rank and MaxRank summarize it (zero when no delivery).
+	Ranks    []int
+	MeanRank float64
+	P99Rank  int
+	MaxRank  int
+
+	// FalseEmpties counts EMPTY deletes stamped while live elements
+	// existed — advisory under concurrency, necessarily zero in a
+	// sequential history.
+	FalseEmpties int
+}
+
+// String renders a one-line summary for test logs.
+func (r *RelaxedReport) String() string {
+	return fmt.Sprintf("inserts=%d deletes=%d empties=%d (false=%d) rank mean=%.2f p99=%d max=%d",
+		r.Inserts, r.Deletes, r.Empties, r.FalseEmpties, r.MeanRank, r.P99Rank, r.MaxRank)
+}
+
+// RelaxedEnvelope bounds a rank-error distribution; Check asserts a
+// report against it. Configure from the backend's promise (for SprayPQ,
+// quality.BoundSpray supplies the O(p·log³ p)-shaped constants).
+type RelaxedEnvelope struct {
+	MaxMean float64
+	MaxP99  int
+}
+
+// Check returns an error when the report's rank distribution escapes the
+// envelope. It gates on mean and p99 — relaxed rank bounds hold with high
+// probability, so a lone outlier delivery is within contract while a fat
+// tail is not.
+func (e RelaxedEnvelope) Check(r *RelaxedReport) error {
+	if r.MeanRank > e.MaxMean {
+		return fmt.Errorf("lincheck: mean rank error %.2f exceeds envelope %.2f", r.MeanRank, e.MaxMean)
+	}
+	if r.P99Rank > e.MaxP99 {
+		return fmt.Errorf("lincheck: p99 rank error %d exceeds envelope %d", r.P99Rank, e.MaxP99)
+	}
+	return nil
+}
+
+// relaxedKey joins (Key, ID) into the multiset identity.
+type relaxedKey struct {
+	key int64
+	id  uint64
+}
+
+// relaxedLive is an ordered multiset of live elements supporting
+// strictly-smaller rank queries, the multiset analogue of live.
+type relaxedLive struct {
+	els []relaxedKey // sorted by (key, id)
+	set map[relaxedKey]bool
+}
+
+func rkLess(a, b relaxedKey) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.id < b.id
+}
+
+func (l *relaxedLive) search(e relaxedKey) int {
+	return sort.Search(len(l.els), func(i int) bool { return !rkLess(l.els[i], e) })
+}
+
+func (l *relaxedLive) add(e relaxedKey) {
+	i := l.search(e)
+	l.els = append(l.els, relaxedKey{})
+	copy(l.els[i+1:], l.els[i:])
+	l.els[i] = e
+	l.set[e] = true
+}
+
+func (l *relaxedLive) remove(e relaxedKey) {
+	i := l.search(e)
+	l.els = append(l.els[:i], l.els[i+1:]...)
+	delete(l.set, e)
+}
+
+// rank counts live elements with a strictly smaller key than key (ID is
+// identity only, not order: equal-priority elements do not rank each
+// other).
+func (l *relaxedLive) rank(key int64) int {
+	return sort.Search(len(l.els), func(i int) bool { return l.els[i].key >= key })
+}
+
+// VerifyRelaxed replays a relaxed multiset history in stamp order and
+// returns its report, or an error describing the first conservation
+// violation. remaining is the element set collected from the quiescent
+// queue after the run.
+func VerifyRelaxed(history []RelaxedOp, remaining []RelaxedElement) (*RelaxedReport, error) {
+	ops := append([]RelaxedOp(nil), history...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Stamp < ops[j].Stamp })
+
+	rep := &RelaxedReport{}
+	l := &relaxedLive{set: map[relaxedKey]bool{}}
+	inserted := map[relaxedKey]bool{}
+	delivered := map[relaxedKey]bool{}
+	inflight := map[relaxedKey]bool{} // delivered before their insert's stamp
+	for i, op := range ops {
+		e := relaxedKey{op.Key, op.ID}
+		if op.Insert {
+			if inserted[e] {
+				return nil, fmt.Errorf("lincheck: op #%d: element %d/%d inserted twice", i, op.Key, op.ID)
+			}
+			inserted[e] = true
+			rep.Inserts++
+			if inflight[e] {
+				// The racing delivery already consumed it; pair up.
+				delete(inflight, e)
+				continue
+			}
+			l.add(e)
+			continue
+		}
+		if !op.OK {
+			rep.Empties++
+			if len(l.els) > 0 {
+				rep.FalseEmpties++
+			}
+			continue
+		}
+		if delivered[e] {
+			return nil, fmt.Errorf("lincheck: delete #%d: element %d/%d delivered twice", i, op.Key, op.ID)
+		}
+		delivered[e] = true
+		rep.Deletes++
+		rep.Ranks = append(rep.Ranks, l.rank(op.Key))
+		if l.set[e] {
+			l.remove(e)
+		} else {
+			// Stamped ahead of its insert; the insert event must follow.
+			inflight[e] = true
+		}
+	}
+	for e := range inflight {
+		return nil, fmt.Errorf("lincheck: element %d/%d delivered but never inserted (phantom)", e.key, e.id)
+	}
+
+	// The live set must now equal the drained remainder exactly.
+	rem := map[relaxedKey]bool{}
+	for _, e := range remaining {
+		k := relaxedKey{e.Key, e.ID}
+		if rem[k] {
+			return nil, fmt.Errorf("lincheck: element %d/%d drained twice from the remainder", e.Key, e.ID)
+		}
+		rem[k] = true
+	}
+	for _, e := range l.els {
+		if !rem[e] {
+			return nil, fmt.Errorf("lincheck: element %d/%d inserted, never delivered, and missing from the remainder (lost)", e.key, e.id)
+		}
+	}
+	if len(rem) > len(l.els) {
+		for e := range rem {
+			if !l.set[e] {
+				return nil, fmt.Errorf("lincheck: element %d/%d remains but was never live (phantom remainder)", e.key, e.id)
+			}
+		}
+	}
+
+	if len(rep.Ranks) > 0 {
+		sorted := append([]int(nil), rep.Ranks...)
+		sort.Ints(sorted)
+		sum := 0
+		for _, r := range sorted {
+			sum += r
+		}
+		rep.MeanRank = float64(sum) / float64(len(sorted))
+		rep.P99Rank = sorted[(len(sorted)*99)/100]
+		rep.MaxRank = sorted[len(sorted)-1]
+	}
+	return rep, nil
+}

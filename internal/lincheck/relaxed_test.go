@@ -1,0 +1,219 @@
+package lincheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"skipqueue/internal/quality"
+	"skipqueue/internal/spray"
+	"skipqueue/internal/xrand"
+)
+
+func rIns(key int64, id uint64, stamp int64) RelaxedOp {
+	return RelaxedOp{Insert: true, Key: key, ID: id, OK: true, Stamp: stamp}
+}
+
+func rDel(key int64, id uint64, stamp int64) RelaxedOp {
+	return RelaxedOp{Key: key, ID: id, OK: true, Stamp: stamp}
+}
+
+func rEmpty(stamp int64) RelaxedOp {
+	return RelaxedOp{Stamp: stamp}
+}
+
+// TestVerifyRelaxedAcceptsOutOfOrder: deliveries above the minimum are the
+// point of a relaxed queue; the report carries their ranks.
+func TestVerifyRelaxedAcceptsOutOfOrder(t *testing.T) {
+	rep, err := VerifyRelaxed([]RelaxedOp{
+		rIns(5, 1, 1), rIns(3, 2, 2), rIns(9, 3, 3),
+		rDel(9, 3, 4), // rank 2: 3 and 5 live below it
+		rDel(3, 2, 5), // rank 0
+		rEmpty(6),     // false: 5/1 still live
+		rDel(5, 1, 7), // rank 0
+		rEmpty(8),     // true EMPTY
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserts != 3 || rep.Deletes != 3 || rep.Empties != 2 {
+		t.Fatalf("counts: %s", rep)
+	}
+	if len(rep.Ranks) != 3 || rep.Ranks[0] != 2 || rep.Ranks[1] != 0 || rep.Ranks[2] != 0 {
+		t.Fatalf("ranks = %v, want [2 0 0]", rep.Ranks)
+	}
+	if rep.FalseEmpties != 1 {
+		t.Fatalf("FalseEmpties = %d, want 1", rep.FalseEmpties)
+	}
+	if rep.MaxRank != 2 || rep.P99Rank != 2 {
+		t.Fatalf("summary: %s", rep)
+	}
+}
+
+// TestVerifyRelaxedDuplicatePriorities: equal keys are distinct elements
+// under their IDs and do not rank each other.
+func TestVerifyRelaxedDuplicatePriorities(t *testing.T) {
+	rep, err := VerifyRelaxed([]RelaxedOp{
+		rIns(7, 1, 1), rIns(7, 2, 2), rIns(7, 3, 3),
+		rDel(7, 2, 4), rDel(7, 1, 5),
+	}, []RelaxedElement{{Key: 7, ID: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rep.Ranks {
+		if r != 0 {
+			t.Fatalf("rank[%d] = %d, want 0 among equal keys", i, r)
+		}
+	}
+}
+
+// TestVerifyRelaxedInFlight: a delivery stamped before its insert is legal
+// (the insert's stamp is drawn after visibility) as long as the insert
+// event eventually arrives.
+func TestVerifyRelaxedInFlight(t *testing.T) {
+	if _, err := VerifyRelaxed([]RelaxedOp{
+		rDel(4, 1, 1), // stamped ahead of...
+		rIns(4, 1, 2), // ...its own insert
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Without the insert it is a phantom.
+	if _, err := VerifyRelaxed([]RelaxedOp{rDel(4, 1, 1)}, nil); err == nil ||
+		!strings.Contains(err.Error(), "phantom") {
+		t.Fatalf("phantom delivery not caught: %v", err)
+	}
+}
+
+// TestVerifyRelaxedMutations: each single-fault corruption of a healthy
+// history must be named by the checker.
+func TestVerifyRelaxedMutations(t *testing.T) {
+	healthy := []RelaxedOp{
+		rIns(5, 1, 1), rIns(3, 2, 2),
+		rDel(3, 2, 3),
+	}
+	remaining := []RelaxedElement{{Key: 5, ID: 1}}
+	if _, err := VerifyRelaxed(healthy, remaining); err != nil {
+		t.Fatalf("healthy history rejected: %v", err)
+	}
+	cases := []struct {
+		name      string
+		history   []RelaxedOp
+		remaining []RelaxedElement
+		want      string
+	}{
+		{"double delivery", append(healthy[:3:3], rDel(3, 2, 4)), remaining, "delivered twice"},
+		{"double insert", append(healthy[:3:3], rIns(3, 2, 4)), remaining, "inserted twice"},
+		{"phantom delivery", append(healthy[:3:3], rDel(99, 9, 4)), remaining, "never inserted"},
+		{"lost element", healthy, nil, "lost"},
+		{"phantom remainder", healthy, []RelaxedElement{{Key: 5, ID: 1}, {Key: 8, ID: 4}}, "phantom remainder"},
+		{"remainder drained twice", healthy, []RelaxedElement{{Key: 5, ID: 1}, {Key: 5, ID: 1}}, "drained twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := VerifyRelaxed(tc.history, tc.remaining)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRelaxedEnvelope: the envelope gates on mean and p99, not max.
+func TestRelaxedEnvelope(t *testing.T) {
+	env := RelaxedEnvelope{MaxMean: 2, MaxP99: 10}
+	if err := env.Check(&RelaxedReport{MeanRank: 1, P99Rank: 5, MaxRank: 500}); err != nil {
+		t.Fatalf("outlier max rejected: %v", err)
+	}
+	if env.Check(&RelaxedReport{MeanRank: 3}) == nil {
+		t.Fatal("mean above envelope accepted")
+	}
+	if env.Check(&RelaxedReport{P99Rank: 11}) == nil {
+		t.Fatal("p99 above envelope accepted")
+	}
+}
+
+// TestSprayRelaxedLincheck is the spray tentpole's history proof, the
+// relaxed mirror of TestElimDefinition1Lincheck: 8 workers churn a real
+// SprayPQ with the spray walk forced on, the tracer records every op, and
+// the replay must show exact multiset conservation with the p99 rank
+// error inside the configured spray envelope (quality.BoundSpray's
+// O(p·log³ p) constants for p = 8).
+func TestSprayRelaxedLincheck(t *testing.T) {
+	const k = 8
+	workers := 8
+	perWorker := 4000
+	if testing.Short() {
+		workers, perWorker = 4, 1000
+	}
+	q := spray.New[uint64](spray.Config{K: k, Seed: 23, Mode: spray.ModeSpray})
+	var mu sync.Mutex
+	var history []RelaxedOp
+	q.SetTracer(func(e spray.Event) {
+		mu.Lock()
+		history = append(history, RelaxedOp{Insert: e.Insert, Key: e.Priority, ID: e.Seq, OK: e.OK, Stamp: e.Stamp})
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewRand(uint64(w)*0x9e3779b97f4a7c15 + 23)
+			for i := 0; i < perWorker; i++ {
+				if rng.Intn(10) < 6 {
+					q.Push(rng.Int63()%100000, uint64(w*perWorker+i))
+				} else {
+					q.Pop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var remaining []RelaxedElement
+	for _, e := range q.Entries() {
+		remaining = append(remaining, RelaxedElement{Key: e.Priority, ID: e.Seq})
+	}
+	rep, err := VerifyRelaxed(history, remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deletes == 0 {
+		t.Fatal("no deliveries recorded; workload broken")
+	}
+	maxMean, maxP99 := quality.BoundSpray(k)
+	if err := (RelaxedEnvelope{MaxMean: maxMean, MaxP99: maxP99}).Check(rep); err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	t.Logf("spray: %s", rep)
+}
+
+// TestSprayRelaxedSequential: a sequential spray history must additionally
+// show zero false EMPTYs — the scan fallback is the EMPTY certificate.
+func TestSprayRelaxedSequential(t *testing.T) {
+	q := spray.New[uint64](spray.Config{K: 8, Seed: 31, Mode: spray.ModeSpray})
+	var history []RelaxedOp
+	q.SetTracer(func(e spray.Event) {
+		history = append(history, RelaxedOp{Insert: e.Insert, Key: e.Priority, ID: e.Seq, OK: e.OK, Stamp: e.Stamp})
+	})
+	rng := xrand.NewRand(31)
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(5) < 3 {
+			q.Push(rng.Int63()%500, uint64(i))
+		} else {
+			q.Pop()
+		}
+	}
+	var remaining []RelaxedElement
+	for _, e := range q.Entries() {
+		remaining = append(remaining, RelaxedElement{Key: e.Priority, ID: e.Seq})
+	}
+	rep, err := VerifyRelaxed(history, remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FalseEmpties != 0 {
+		t.Fatalf("sequential history produced %d false EMPTYs: %s", rep.FalseEmpties, rep)
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"skipqueue/internal/flight"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/vclock"
-	"skipqueue/internal/xrand"
 )
 
 // ordered mirrors cmp.Ordered.
@@ -85,9 +84,17 @@ type Config struct {
 	Flight *flight.Recorder
 }
 
+// maxLevelCap bounds Config.MaxLevel so the search scratch arrays used by
+// Insert and remove can live on the stack (a heap pred/succ slice per
+// operation was a measured double-digit share of the delete path).
+const maxLevelCap = 32
+
 func (c Config) withDefaults() Config {
 	if c.MaxLevel <= 0 {
 		c.MaxLevel = DefaultMaxLevel
+	}
+	if c.MaxLevel > maxLevelCap {
+		c.MaxLevel = maxLevelCap
 	}
 	if c.P <= 0 || c.P >= 1 {
 		c.P = 0.5
@@ -252,8 +259,25 @@ func (q *Queue[K, V]) newNode(key K, value V, level int) *node[K, V] {
 }
 
 func (q *Queue[K, V]) randomLevel() int {
-	r := xrand.NewRand(q.levelSeed.Add(0x9e3779b97f4a7c15))
-	return r.GeometricLevel(q.cfg.P, q.cfg.MaxLevel)
+	// One splitmix64 draw per coin flip, computed inline: constructing a
+	// full xoshiro generator here was ~10% of all allocations in a churn
+	// workload. The atomic counter keeps draws decorrelated across
+	// goroutines; determinism per Seed is preserved only for sequential
+	// callers, which is all the experiments rely on.
+	s := q.levelSeed.Add(0x9e3779b97f4a7c15)
+	l := 1
+	for l < q.cfg.MaxLevel {
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if float64(z>>11)/(1<<53) >= q.cfg.P {
+			break
+		}
+		l++
+		s += 0x9e3779b97f4a7c15
+	}
+	return l
 }
 
 // Len returns the number of elements (snapshot).
@@ -263,6 +287,13 @@ func (q *Queue[K, V]) Len() int { return int(q.size.Load()) }
 func (q *Queue[K, V]) Relaxed() bool { return q.cfg.Relaxed }
 
 // Stats returns a snapshot of the operation counters.
+// CASRetries returns just the CAS-retry counter. Contention-adaptive
+// callers (internal/spray) sample it around every Pop; the full Stats()
+// snapshot loads six atomics where this loads one.
+func (q *Queue[K, V]) CASRetries() uint64 {
+	return q.stCASRetries.Load()
+}
+
 func (q *Queue[K, V]) Stats() Stats {
 	return Stats{
 		Inserts:    q.stInserts.Load(),
@@ -347,8 +378,8 @@ func (q *Queue[K, V]) Insert(key K, value V) bool {
 	if q.obs.set.Enabled() {
 		t0 = time.Now()
 	}
-	preds := make([]*node[K, V], q.cfg.MaxLevel)
-	succs := make([]*node[K, V], q.cfg.MaxLevel)
+	var predsA, succsA [maxLevelCap]*node[K, V]
+	preds, succs := predsA[:q.cfg.MaxLevel], succsA[:q.cfg.MaxLevel]
 	for {
 		if q.find(key, nil, preds, succs) {
 			// Key present: this lock-free variant treats the existing node
@@ -527,8 +558,14 @@ retry:
 	}
 }
 
-// remove marks every level of a claimed node top-down, then runs a search to
-// physically unlink it (the search's helping does the unlinking).
+// remove marks every level of a claimed node top-down, then — for nodes
+// with towers — runs a search to physically unlink it (the search's
+// helping does the unlinking). Bottom-only nodes skip the search: every
+// level-0 scan (DeleteMin, DeleteSpray, the next find through here)
+// unlinks marked nodes it passes anyway, and one lazy unlink CAS on the
+// next scan is far cheaper than an eager full-height search per delete.
+// Tower nodes keep the eager search because their upper-level links
+// lengthen every subsequent search path until someone cleans them.
 func (q *Queue[K, V]) remove(victim *node[K, V]) {
 	for level := victim.topLevel - 1; level >= 0; level-- {
 		for {
@@ -547,9 +584,11 @@ func (q *Queue[K, V]) remove(victim *node[K, V]) {
 			q.obs.fr.Record(flight.KCASRetry, 0, 0)
 		}
 	}
-	preds := make([]*node[K, V], q.cfg.MaxLevel)
-	succs := make([]*node[K, V], q.cfg.MaxLevel)
-	q.find(victim.key, victim, preds, succs)
+	if victim.topLevel <= 1 {
+		return
+	}
+	var predsA, succsA [maxLevelCap]*node[K, V]
+	q.find(victim.key, victim, predsA[:q.cfg.MaxLevel], succsA[:q.cfg.MaxLevel])
 }
 
 // PeekMin returns the current minimum without removing it (advisory).

@@ -1,0 +1,116 @@
+package lockfree
+
+// This file is the exported claim hook for the SprayList-style DeleteMin of
+// internal/spray (Alistarh/Kopinsky/Li/Shavit, SPAA 2015; surveyed in
+// Gruber's "Practical Concurrent Priority Queues"). The walk lives here
+// because it traverses the skiplist's unexported node towers; the policy —
+// when to spray, how to certify EMPTY, how to adapt to contention — lives
+// in internal/spray.
+
+import (
+	"skipqueue/internal/xrand"
+)
+
+// SprayStats reports one spray walk's outcome for the caller's probes.
+type SprayStats struct {
+	// Steps counts the forward hops the descending walk took across all
+	// levels, plus the bottom-level hops spent hunting a claimable node.
+	Steps int
+	// Collisions counts landing-zone nodes that were already claimed by a
+	// racing deleter, plus claim CASes lost outright.
+	Collisions int
+}
+
+// DeleteSpray removes and returns a *near-minimal* element: it performs one
+// randomized descending walk — starting height levels above the bottom,
+// jumping forward a uniform number of nodes in [0, jump] at each level —
+// and then claims the first claimable node at or after the landing point
+// with the same logical-delete CAS DeleteMin uses, examining at most
+// attempts live nodes before giving up.
+//
+// ok is false when no claim landed; that is NOT an EMPTY certificate — the
+// walk inspects a random prefix region, so only a full bottom-level scan
+// (DeleteMin) may report EMPTY. The returned element can sit O(height ×
+// jump × 2^height) positions past the true minimum in the worst case;
+// choosing height = O(log p) and jump = O(log² p) for p concurrent
+// deleters yields the SprayList's O(p·log³ p) rank bound w.h.p.
+//
+// seed drives the walk's randomness; callers should pass a fresh draw per
+// call so concurrent sprayers land on disjoint prefixes.
+func (q *Queue[K, V]) DeleteSpray(height, jump, attempts int, seed uint64) (key K, value V, ok bool, st SprayStats) {
+	if height < 1 {
+		height = 1
+	}
+	if height > q.cfg.MaxLevel {
+		height = q.cfg.MaxLevel
+	}
+	if jump < 1 {
+		jump = 1
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	rng := xrand.NewSplitMix64(seed)
+
+	// Descending walk. The head's pairs are never marked, and following a
+	// marked node's frozen pointer is harmless here: the spray is already
+	// allowed to land anywhere in the prefix, so a stale hop only shifts
+	// the landing distribution, never breaks conservation (claiming is the
+	// only mutating step and it is CAS-guarded).
+	curr := q.head
+	for level := height - 1; level >= 0; level-- {
+		hops := int(rng.Next() % uint64(jump+1))
+		for h := 0; h < hops; h++ {
+			next := curr.loadNext(level).next
+			if next.isTail {
+				break
+			}
+			curr = next
+			st.Steps++
+		}
+	}
+
+	// Claim hunt: from the landing node, walk the bottom level over marked
+	// and claimed nodes until a claim lands or the budget is spent. Both
+	// claim attempts and nodes examined are bounded — a long run of
+	// already-claimed nodes must fail the spray (the caller falls back to
+	// the scan) rather than degenerate into an unbudgeted linear walk.
+	if curr == q.head {
+		curr = curr.loadNext(0).next
+	}
+	tried := 0
+	for hunt := attempts * (jump + 1); hunt > 0 && !curr.isTail; hunt-- {
+		mk := curr.loadNext(0)
+		if mk.marked {
+			// Mid-unlink garbage; step over it without helping — sprays
+			// stay read-mostly and leave physical unlinking to the scans.
+			curr = mk.next
+			st.Steps++
+			continue
+		}
+		if curr.claimed.Load() != 0 {
+			st.Collisions++
+			curr = mk.next
+			st.Steps++
+			continue
+		}
+		ticket := q.clock.Now()
+		if curr.claimed.CompareAndSwap(0, ticket) {
+			q.dbg("claim", curr, nil, nil)
+			q.remove(curr)
+			q.size.Add(-1)
+			q.stDeleteMins.Add(1)
+			return curr.key, curr.value, true, st
+		}
+		// Lost the claim race; the node is someone else's now.
+		st.Collisions++
+		q.stCASRetries.Add(1)
+		q.obs.claimFails.Add(1)
+		if tried++; tried >= attempts {
+			break
+		}
+		curr = mk.next
+		st.Steps++
+	}
+	return key, value, false, st
+}

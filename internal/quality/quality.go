@@ -324,6 +324,37 @@ func (r *Report) CheckBound(shards int) error {
 	return nil
 }
 
+// BoundSpray returns the rank-error envelope for a spray queue shaped for
+// p concurrent deleters: the SprayList delivers elements of rank
+// O(p·log³ p) w.h.p. (Alistarh et al., SPAA 2015), and internal/spray's
+// walk spans about 2·p·log²(p) bottom positions at full budget. The mean
+// bound is O(p·log² p)-shaped (a spray lands uniformly inside its span)
+// and the p99 bound is the full O(p·log³ p) with generous constants —
+// again calibrated to flag a broken walk, not scheduler noise.
+func BoundSpray(p int) (maxMean float64, maxP99 int) {
+	fp := float64(p)
+	if fp < 2 {
+		fp = 2
+	}
+	l := math.Log2(2 * fp)
+	return 4*fp*l*l + 16, int(16*fp*l*l*l) + 64
+}
+
+// CheckBoundSpray asserts the report's rank errors against BoundSpray(p).
+// Unlike CheckBound it gates on the p99 rather than the max: spray rank
+// bounds hold with high probability, not surely, so a single outlier
+// delivery is within contract while a fat tail is not.
+func (r *Report) CheckBoundSpray(p int) error {
+	maxMean, maxP99 := BoundSpray(p)
+	if r.MeanRank > maxMean {
+		return fmt.Errorf("quality: mean rank error %.2f exceeds spray bound %.2f for p=%d", r.MeanRank, maxMean, p)
+	}
+	if r.P99Rank > maxP99 {
+		return fmt.Errorf("quality: p99 rank error %d exceeds spray bound %d for p=%d", r.P99Rank, maxP99, p)
+	}
+	return nil
+}
+
 // String renders a one-line summary for test logs.
 func (r *Report) String() string {
 	return fmt.Sprintf("inserts=%d deletes=%d empties=%d (false=%d) rank mean=%.2f p99=%d max=%d",

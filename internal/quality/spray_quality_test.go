@@ -1,0 +1,172 @@
+package quality_test
+
+import (
+	"sync"
+	"testing"
+
+	"skipqueue/internal/quality"
+	"skipqueue/internal/spray"
+	"skipqueue/internal/xrand"
+)
+
+// recordSpray wires a spray PQ's tracer into a quality Recorder.
+func recordSpray(p *spray.PQ[uint64], rec *quality.Recorder) {
+	p.SetTracer(func(e spray.Event) {
+		rec.Record(quality.Event{Insert: e.Insert, Key: e.Priority, ID: e.Seq, OK: e.OK, Stamp: e.Stamp})
+	})
+}
+
+// remainingSpray converts the quiescent queue's entries for Analyze.
+func remainingSpray(p *spray.PQ[uint64]) []quality.Element {
+	entries := p.Entries()
+	out := make([]quality.Element, len(entries))
+	for i, e := range entries {
+		out[i] = quality.Element{Key: e.Priority, ID: e.Seq}
+	}
+	return out
+}
+
+// TestSpraySequentialQuality: a sequential history over the spray queue —
+// with the spray path FORCED on, so every Pop walks — must conserve the
+// multiset exactly and never report a false EMPTY (the failed-spray scan
+// fallback is the certificate under test here).
+func TestSpraySequentialQuality(t *testing.T) {
+	const k = 8
+	p := spray.New[uint64](spray.Config{K: k, Seed: 3, Mode: spray.ModeSpray})
+	rec := quality.NewRecorder(4096)
+	recordSpray(p, rec)
+
+	rng := xrand.NewRand(3)
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2:
+			p.Push(rng.Int63()%1000, uint64(i))
+		default:
+			p.Pop()
+		}
+	}
+	rep, err := quality.Analyze(rec.Events(), remainingSpray(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FalseEmpties != 0 {
+		t.Fatalf("sequential history produced %d false EMPTYs: %s", rep.FalseEmpties, rep)
+	}
+	if err := rep.CheckBoundSpray(k); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential: %s", rep)
+}
+
+// TestSprayRankErrorUnderLoad is the spray tentpole's concurrent quality
+// harness: 8 workers churn a SprayPQ through its tracer hook, and the
+// recorded history must (a) conserve the multiset — no lost, duplicated
+// or phantom elements — and (b) keep the p99 rank error inside the
+// O(p·log³p)-shaped SprayList envelope. ModeSpray pins the walk on so the
+// adaptive trigger can't quietly hand the test to the strict scan path.
+func TestSprayRankErrorUnderLoad(t *testing.T) {
+	const k = 8
+	workers := 8
+	perWorker := 6000
+	if testing.Short() {
+		workers, perWorker = 4, 1500
+	}
+	p := spray.New[uint64](spray.Config{K: k, Seed: 11, Mode: spray.ModeSpray})
+	rec := quality.NewRecorder(2 * workers * perWorker)
+	recordSpray(p, rec)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewRand(uint64(w)*0x9e3779b97f4a7c15 + 11)
+			for i := 0; i < perWorker; i++ {
+				if rng.Intn(10) < 6 {
+					p.Push(rng.Int63()%100000, uint64(w*perWorker+i))
+				} else {
+					p.Pop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep, err := quality.Analyze(rec.Events(), remainingSpray(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deletes == 0 {
+		t.Fatal("no successful deletes recorded; workload broken")
+	}
+	if err := rep.CheckBoundSpray(k); err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	t.Logf("concurrent: %s", rep)
+}
+
+// TestSprayAdaptiveQuality: the default adaptive mode must conserve the
+// multiset too — the mid-flight switches between scan and spray paths are
+// exactly where a claim could be dropped or doubled.
+func TestSprayAdaptiveQuality(t *testing.T) {
+	const k = 8
+	p := spray.New[uint64](spray.Config{K: k, Seed: 17})
+	rec := quality.NewRecorder(16384)
+	recordSpray(p, rec)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewRand(uint64(w)*0x6a09e667f3bcc909 + 17)
+			for i := 0; i < 2000; i++ {
+				if rng.Intn(10) < 6 {
+					p.Push(rng.Int63()%100000, uint64(w*2000+i))
+				} else {
+					p.Pop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep, err := quality.Analyze(rec.Events(), remainingSpray(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckBoundSpray(k); err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	t.Logf("adaptive: %s", rep)
+}
+
+// TestBoundSprayShape: the spray envelope must sit meaningfully above the
+// sharded one's mean (a spray trades more rank for less contention) and
+// grow monotonically with p.
+func TestBoundSprayShape(t *testing.T) {
+	prevMean, prevP99 := 0.0, 0
+	// p clamps to 2 below, so start the monotonicity ladder there.
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		mean, p99 := quality.BoundSpray(p)
+		if mean <= prevMean || p99 <= prevP99 {
+			t.Fatalf("BoundSpray not monotone at p=%d: %v/%v after %v/%v", p, mean, p99, prevMean, prevP99)
+		}
+		prevMean, prevP99 = mean, p99
+	}
+	mean, p99 := quality.BoundSpray(8)
+	if mean < 16 || p99 < 64 {
+		t.Fatalf("BoundSpray(8) = %v/%v below floor", mean, p99)
+	}
+	rep := &quality.Report{MeanRank: mean + 1}
+	if rep.CheckBoundSpray(8) == nil {
+		t.Fatal("CheckBoundSpray accepted a mean above the bound")
+	}
+	rep = &quality.Report{P99Rank: p99 + 1}
+	if rep.CheckBoundSpray(8) == nil {
+		t.Fatal("CheckBoundSpray accepted a p99 above the bound")
+	}
+	if err := (&quality.Report{}).CheckBoundSpray(8); err != nil {
+		t.Fatalf("CheckBoundSpray rejected a perfect report: %v", err)
+	}
+}

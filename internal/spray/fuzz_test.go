@@ -1,0 +1,104 @@
+package spray
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzOps drives a spray PQ from a byte string against a model multiset,
+// with the same relaxedness-aware comparison internal/sharded uses. The
+// first byte picks the contention width K and the mode (adaptive, forced
+// spray, forced scan — the forced-spray arm is the interesting one: every
+// sequential Pop must still come from the model multiset and EMPTY must
+// track model emptiness exactly, because a failed walk falls back to the
+// full scan). Then every even byte inserts key b/2 and every odd byte
+// pops.
+//
+// Run with `go test -fuzz=FuzzOps ./internal/spray` for a deep
+// exploration; plain `go test` replays the seed corpus.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 2, 4, 1, 1, 1})
+	f.Add([]byte{16, 255, 254, 253, 252, 1, 3, 5})
+	f.Add([]byte{1, 10, 10, 10, 1, 10, 1, 1})
+	f.Add([]byte{8, 2, 2, 2, 2, 1, 1, 1, 1, 1})
+	f.Add([]byte{49, 6, 8, 10, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := 2
+		mode := ModeAdaptive
+		if len(data) > 0 {
+			k = 1 + int(data[0]%16)
+			mode = Mode(int(data[0]/16) % 3)
+			data = data[1:]
+		}
+		q := New[int64](Config{K: k, Seed: 1, Mode: mode})
+		model := map[int64]int{} // key -> multiplicity
+		size := 0
+		for step, b := range data {
+			if b%2 == 0 {
+				key := int64(b / 2)
+				q.Push(key, key)
+				model[key]++
+				size++
+				continue
+			}
+			key, v, ok := q.Pop()
+			if size == 0 {
+				if ok {
+					t.Fatalf("step %d: Pop on empty returned %d", step, key)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("step %d: Pop returned EMPTY with %d elements held", step, size)
+			}
+			if key != v {
+				t.Fatalf("step %d: Pop returned value %d for key %d", step, v, key)
+			}
+			if model[key] == 0 {
+				t.Fatalf("step %d: Pop returned %d, which is not held (model %v)", step, key, model)
+			}
+			min := int64(1 << 62)
+			for mk := range model {
+				if mk < min {
+					min = mk
+				}
+			}
+			if key < min {
+				t.Fatalf("step %d: Pop returned %d, smaller than true minimum %d", step, key, min)
+			}
+			model[key]--
+			if model[key] == 0 {
+				delete(model, key)
+			}
+			size--
+		}
+		if got := q.Len(); got != size {
+			t.Fatalf("final Len = %d, want %d", got, size)
+		}
+		var got []int64
+		for {
+			key, _, ok := q.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, key)
+		}
+		var want []int64
+		for key, n := range model {
+			for i := 0; i < n; i++ {
+				want = append(want, key)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("final drain %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final drain %v, want %v", got, want)
+			}
+		}
+	})
+}

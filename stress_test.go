@@ -34,6 +34,7 @@ func stressBackends() []struct {
 		{"sharded", func() multisetPQ { return NewShardedPQ[uint64](8, WithSeed(1)) }},
 		{"elim", func() multisetPQ { return NewElimPQ[uint64](4, WithSeed(1)) }},
 		{"elim-sharded", func() multisetPQ { return NewElimShardedPQ[uint64](4, 8, WithSeed(1)) }},
+		{"spray", func() multisetPQ { return NewSprayPQ[uint64](8, WithSeed(1)) }},
 	}
 }
 
