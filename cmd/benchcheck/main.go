@@ -16,11 +16,23 @@
 //     above (1+tolerance)×baseline fails (more ns per op = less
 //     throughput).
 //
-//   - Structure head-to-heads: -native-report (a nativebench text report,
-//     e.g. the committed BENCH_spray.txt) plus -require, a comma list of
+//   - Structure head-to-heads: -native-report (a nativebench report,
+//     either raw text or the normalized JSON, e.g. the committed
+//     BENCH_spray.json) plus -require, a comma list of
 //     "Challenger>=Champion" pairs. The challenger's ops/sec must reach at
 //     least (1-tolerance)×champion — the gate that keeps a relaxed
 //     backend honest about actually beating the strict queue it relaxes.
+//
+//   - Throughput ratio gates: -ratio-base and -ratio-fresh name two pqload
+//     JSON reports; -ratio-min R requires fresh ≥ R×base. This is how the
+//     batched data plane proves its multiple over the single-op baseline
+//     (BENCH_server_batch.json vs BENCH_server.json) instead of merely not
+//     regressing.
+//
+// benchcheck is also the normalizer that keeps the bench artifacts
+// machine-readable: `-normalize report.txt -normalize-out BENCH_x.json`
+// parses a nativebench text report into the JSON shape the trajectory
+// tooling (and -native-report) reads.
 //
 // The default tolerance is deliberately wide (30%): the guard exists to
 // catch structural regressions — an accidental O(n) scan, a lost fast
@@ -43,6 +55,22 @@ type serverReport struct {
 	Throughput float64 `json:"throughput_ops_per_s"`
 	Ops        uint64  `json:"ops"`
 	Errors     uint64  `json:"errors"`
+}
+
+// nativeReportJSON is the normalized form of a nativebench text report:
+// the workload header, and per structure the throughput plus the verbatim
+// latency summary lines for humans reading the artifact.
+type nativeReportJSON struct {
+	Bench      string            `json:"bench"`
+	Workload   map[string]string `json:"workload,omitempty"`
+	Structures []structureResult `json:"structures"`
+}
+
+type structureResult struct {
+	Name      string  `json:"name"`
+	OpsPerSec float64 `json:"ops_per_s"`
+	Insert    string  `json:"insert,omitempty"`
+	DeleteMin string  `json:"deletemin,omitempty"`
 }
 
 type nativeBaseline struct {
@@ -75,16 +103,74 @@ func median(xs []float64) float64 {
 	return xs[len(xs)/2]
 }
 
+// parseNativeText turns a nativebench text report into its normalized JSON
+// shape: the key=value workload header, then one entry per `Name N ops/sec`
+// line with the immediately following insert/deletemin summary lines kept
+// verbatim. Metrics sections (`== set ==`) are skipped.
+func parseNativeText(data []byte) nativeReportJSON {
+	rep := nativeReportJSON{Bench: "nativebench head-to-head (cmd/nativebench)"}
+	var cur *structureResult
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case rep.Workload == nil && rep.Structures == nil && strings.Contains(trimmed, "="):
+			rep.Workload = map[string]string{}
+			for _, kv := range strings.Fields(trimmed) {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					rep.Workload[k] = v
+				}
+			}
+		case reportLine.MatchString(line):
+			m := reportLine.FindStringSubmatch(line)
+			ops, _ := strconv.ParseFloat(m[2], 64)
+			rep.Structures = append(rep.Structures, structureResult{Name: m[1], OpsPerSec: ops})
+			cur = &rep.Structures[len(rep.Structures)-1]
+		case cur != nil && strings.HasPrefix(trimmed, "insert:"):
+			cur.Insert = strings.TrimSpace(strings.TrimPrefix(trimmed, "insert:"))
+		case cur != nil && strings.HasPrefix(trimmed, "deletemin:"):
+			cur.DeleteMin = strings.TrimSpace(strings.TrimPrefix(trimmed, "deletemin:"))
+			cur = nil
+		default:
+			cur = nil
+		}
+	}
+	return rep
+}
+
+// reportRates extracts structure→ops/sec from a nativebench report, JSON
+// (the normalized artifact) or raw text.
+func reportRates(data []byte) map[string]float64 {
+	rates := map[string]float64{}
+	var rep nativeReportJSON
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.Structures) > 0 {
+		for _, s := range rep.Structures {
+			rates[s.Name] = s.OpsPerSec
+		}
+		return rates
+	}
+	for _, m := range reportLine.FindAllStringSubmatch(string(data), -1) {
+		if ops, err := strconv.ParseFloat(m[2], 64); err == nil {
+			rates[m[1]] = ops
+		}
+	}
+	return rates
+}
+
 func main() {
 	var (
 		tolerance      = flag.Float64("tolerance", 0.30, "allowed relative regression before failing")
 		serverBaseline = flag.String("server-baseline", "", "committed pqload report (BENCH_server.json)")
 		serverFresh    = flag.String("server-fresh", "", "fresh pqload report to compare against -server-baseline")
 		nativeBase     = flag.String("native-baseline", "", "committed go-test bench medians (BENCH_baseline.json); reruns and compares")
-		nativeReport   = flag.String("native-report", "", "nativebench text report (e.g. BENCH_spray.txt) for -require head-to-heads")
+		nativeReport   = flag.String("native-report", "", "nativebench report, text or normalized JSON (e.g. BENCH_spray.json), for -require head-to-heads")
 		require        = flag.String("require", "Spray>=StrictPQ", "comma list of Challenger>=Champion throughput requirements for -native-report")
 		benchTime      = flag.String("benchtime", "0.5s", "benchtime for the native rerun")
 		count          = flag.Int("count", 5, "repetitions for the native rerun (median is compared)")
+		normalize      = flag.String("normalize", "", "nativebench text report to normalize into JSON")
+		normalizeOut   = flag.String("normalize-out", "", "where -normalize writes the JSON (default: stdout)")
+		ratioBase      = flag.String("ratio-base", "", "pqload JSON report the ratio gate divides by")
+		ratioFresh     = flag.String("ratio-fresh", "", "pqload JSON report that must reach -ratio-min × -ratio-base")
+		ratioMin       = flag.Float64("ratio-min", 0, "required throughput multiple for the ratio gate (0 = off)")
 	)
 	flag.Parse()
 
@@ -92,6 +178,63 @@ func main() {
 	fail := func(format string, args ...any) {
 		failed = true
 		fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: "+format+"\n", args...)
+	}
+
+	if *normalize != "" {
+		data, err := os.ReadFile(*normalize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		rep := parseNativeText(data)
+		if len(rep.Structures) == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: no `ops/sec` lines found in %s\n", *normalize)
+			os.Exit(2)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, '\n')
+		if *normalizeOut == "" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*normalizeOut, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		} else {
+			fmt.Printf("benchcheck: normalized %s -> %s (%d structures)\n",
+				*normalize, *normalizeOut, len(rep.Structures))
+		}
+		if *serverBaseline == "" && *nativeBase == "" && *nativeReport == "" && *ratioMin == 0 {
+			return
+		}
+	}
+
+	if *ratioMin > 0 {
+		var base, fresh serverReport
+		if err := readJSON(*ratioBase, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: ratio gate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := readJSON(*ratioFresh, &fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: ratio gate: %v\n", err)
+			os.Exit(2)
+		}
+		need := base.Throughput * *ratioMin
+		status := "ok"
+		if fresh.Throughput < need {
+			fail("%s throughput %.0f ops/s is %.2fx of %s (%.0f); gate requires %.1fx",
+				*ratioFresh, fresh.Throughput, fresh.Throughput/base.Throughput,
+				*ratioBase, base.Throughput, *ratioMin)
+			status = "FAIL"
+		}
+		fmt.Printf("ratio   %-34s base %12.0f fresh %12.0f  %.2fx (need %.1fx)  %s\n",
+			"throughput_ops_per_s", base.Throughput, fresh.Throughput,
+			fresh.Throughput/base.Throughput, *ratioMin, status)
+		if fresh.Errors > 0 {
+			fail("ratio-gated run %s reported %d errors", *ratioFresh, fresh.Errors)
+		}
 	}
 
 	if *serverBaseline != "" && *serverFresh != "" {
@@ -189,14 +332,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(2)
 		}
-		rates := map[string]float64{}
-		for _, m := range reportLine.FindAllStringSubmatch(string(data), -1) {
-			ops, err := strconv.ParseFloat(m[2], 64)
-			if err != nil {
-				continue
-			}
-			rates[m[1]] = ops
-		}
+		rates := reportRates(data)
 		for _, req := range strings.Split(*require, ",") {
 			req = strings.TrimSpace(req)
 			parts := strings.SplitN(req, ">=", 2)
@@ -223,8 +359,8 @@ func main() {
 		}
 	}
 
-	if *serverBaseline == "" && *nativeBase == "" && *nativeReport == "" {
-		fmt.Fprintln(os.Stderr, "benchcheck: nothing to compare (see -server-baseline/-server-fresh, -native-baseline and -native-report)")
+	if *serverBaseline == "" && *nativeBase == "" && *nativeReport == "" && *ratioMin == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to compare (see -server-baseline/-server-fresh, -native-baseline, -native-report and -ratio-min)")
 		os.Exit(2)
 	}
 	if failed {

@@ -124,6 +124,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxConns    = fs.Int("max-conns", server.DefaultMaxConns, "max concurrent connections; excess is refused with BUSY")
 		maxInflight = fs.Int("max-inflight", server.DefaultMaxInflight, "max frames applied per connection between response flushes")
 		maxFrame    = fs.Int("max-frame", 0, "max accepted frame size in bytes (0 = protocol default, 1MiB)")
+		workers     = fs.Int("workers", 0, "apply-loop workers connections shard onto (0 = GOMAXPROCS)")
+		batchMax    = fs.Int("batch-max", 0, "max operations accepted per OpBatch frame (0 = default 1024)")
+		batchLinger = fs.Duration("batch-linger", 0, "how long a worker waits for more connections' batches to join one apply run (0 = no linger)")
 		drainWindow = fs.Duration("drain-window", server.DefaultDrainWindow, "how long a drain keeps answering late frames with SHUTDOWN")
 		drainWait   = fs.Duration("drain-timeout", 5*time.Second, "total shutdown budget before connections are force-closed")
 		adminAddr   = fs.String("admin", "", "serve the admin surface (/metrics, /healthz, /debug/flight, /debug/pprof, /debug/vars) on this address; also enables probe collection")
@@ -193,6 +196,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Metrics:     metrics,
 		Flight:      serverFR,
 		SLO:         *slo,
+		Workers:     *workers,
+		BatchMaxOps: *batchMax,
+		BatchLinger: *batchLinger,
 	}
 	if durable != nil {
 		srvCfg.WAL = durable
@@ -208,12 +214,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var admErr chan error
 	if *adminAddr != "" {
 		publish("pqd.server", srv.Snapshot)
+		publish("pqd.batch", srv.BatchSnapshot)
 		publish("pqd.backend", inst.Snapshot)
-		snapshots := func() []obs.Snapshot { return []obs.Snapshot{srv.Snapshot(), inst.Snapshot()} }
+		snapshots := func() []obs.Snapshot {
+			return []obs.Snapshot{srv.Snapshot(), srv.BatchSnapshot(), inst.Snapshot()}
+		}
 		if durable != nil {
 			publish("pqd.wal", durable.Log().Snapshot)
 			snapshots = func() []obs.Snapshot {
-				return []obs.Snapshot{srv.Snapshot(), inst.Snapshot(), durable.Log().Snapshot()}
+				return []obs.Snapshot{srv.Snapshot(), srv.BatchSnapshot(), inst.Snapshot(), durable.Log().Snapshot()}
 			}
 		}
 		adm = admin.New(admin.Config{

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,8 @@ type report struct {
 	Addr      string     `json:"addr"`
 	Conns     int        `json:"conns"`
 	Workers   int        `json:"workers"`
+	BatchMax  int        `json:"batch_max,omitempty"`
+	LingerNs  int64      `json:"batch_linger_ns,omitempty"`
 	RateOps   int        `json:"rate_ops_per_s,omitempty"`
 	Mix       float64    `json:"insert_mix"`
 	ValueSize int        `json:"value_bytes"`
@@ -88,17 +91,36 @@ func main() {
 		prefill  = flag.Int("prefill", 1000, "elements inserted before measuring")
 		keyspace = flag.Int64("keyspace", 1<<20, "priorities drawn uniformly from [0, keyspace)")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		batchMax = flag.Int("batch", 0, "client-side op coalescing: pack up to this many pending ops per OpBatch frame (0 = off)")
+		linger   = flag.Duration("batch-linger", 0, "with -batch, how long the writer waits for more pending ops before flushing a short batch")
 		out      = flag.String("out", "", "write the JSON report to this file (e.g. BENCH_server.json)")
 		traceOut = flag.String("trace-out", "", "record end-to-end traces and write the client flight dump (JSON) to this file; pair with a pqd started with -flight and feed both to cmd/pqtrace")
 		traceEvs = flag.Int("trace-events", 1<<16, "client flight-recorder ring slots per shard (with -trace-out)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the load generator itself to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pqload: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	var tracer *flight.Recorder
 	if *traceOut != "" {
 		tracer = flight.New("client", 0, *traceEvs)
 	}
-	cl, err := client.Dial(client.Config{Addr: *addr, Conns: *conns, Flight: tracer})
+	cl, err := client.Dial(client.Config{
+		Addr:        *addr,
+		Conns:       *conns,
+		Flight:      tracer,
+		BatchMax:    *batchMax,
+		BatchLinger: *linger,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pqload: %v\n", err)
 		os.Exit(1)
@@ -142,6 +164,8 @@ func main() {
 		Addr:      *addr,
 		Conns:     *conns,
 		Workers:   *workers,
+		BatchMax:  *batchMax,
+		LingerNs:  int64(*linger),
 		RateOps:   *rate,
 		Mix:       *mix,
 		ValueSize: *valueSz,
@@ -187,21 +211,33 @@ func main() {
 }
 
 // runClosed saturates the server: each worker issues its next op as soon as
-// the previous completes.
+// the previous completes. The per-op bookkeeping is deliberately lean — a
+// xorshift draw instead of math/rand and a deadline check every few ops —
+// so at coalesced throughput the generator measures the server, not itself.
 func runClosed(cl *client.Client, workers int, d time.Duration, mix float64,
 	keyspace int64, seed int64, value []byte,
 	insertH, deleteH *hist.H, ops, errs *atomic.Uint64) {
 	deadline := time.Now().Add(d)
+	mixCut := uint64(mix * (1 << 32))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*1e9))
-			for time.Now().Before(deadline) {
+			rngState := uint64(seed+int64(w)*1e9)*0x9e3779b97f4a7c15 + 1
+			nextRand := func() uint64 {
+				rngState ^= rngState << 13
+				rngState ^= rngState >> 7
+				rngState ^= rngState << 17
+				return rngState
+			}
+			for i := 0; ; i++ {
+				if i%16 == 0 && !time.Now().Before(deadline) {
+					return
+				}
 				t0 := time.Now()
-				if rng.Float64() < mix {
-					if err := cl.Insert(rng.Int63n(keyspace), value); err != nil {
+				if nextRand()&0xffffffff < mixCut {
+					if err := cl.Insert(int64(nextRand()%uint64(keyspace)), value); err != nil {
 						errs.Add(1)
 					} else {
 						insertH.Observe(time.Since(t0))

@@ -73,6 +73,21 @@ type Config struct {
 	Retries int
 	// MaxFrame bounds accepted response frames (default wire.DefaultMaxFrame).
 	MaxFrame int
+	// BatchMax turns on transparent op coalescing: pending Insert and
+	// DeleteMin calls that are adjacent in the write queue are packed, up
+	// to BatchMax per frame, into one wire.OpBatch frame that the server
+	// applies under one backend acquisition and one WAL commit. 0 or 1
+	// disables batching — every call then goes out as its own single-op
+	// frame, byte-identical to the pre-batch protocol. Peek, Len, Ping and
+	// traced calls are never batched (they keep per-frame semantics), and
+	// coalescing never reorders: a batch frame occupies its calls' FIFO
+	// position. Requires a batch-aware server; a pre-batch server rejects
+	// the frame and the connection fails with RemoteError.
+	BatchMax int
+	// BatchLinger, if positive, is how long the writer waits after waking
+	// for more calls to join the outgoing write — trading per-op latency
+	// for batch width. Zero coalesces only what is already queued.
+	BatchLinger time.Duration
 	// Flight, if non-nil, turns on end-to-end tracing: every request frame
 	// carries a fresh trace ID and the client's wall-clock send time
 	// (wire.FlagTraced), and the recorder gets a flight.KClientSend event at
@@ -102,6 +117,9 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.BatchMax > wire.MaxBatchOps {
+		cfg.BatchMax = wire.MaxBatchOps
 	}
 }
 
@@ -180,21 +198,54 @@ type Result struct {
 type Pending struct {
 	call    *call
 	timeout time.Duration
+	trace   uint64
+	res     Result
+	err     error
 }
 
 // Trace returns the call's trace ID, 0 when the client was built without
 // Config.Flight.
-func (p *Pending) Trace() uint64 { return p.call.trace }
+func (p *Pending) Trace() uint64 { return p.trace }
+
+// timerPool recycles the Wait timeout timers; a fresh runtime timer per
+// in-flight op is measurable at batched throughput.
+var timerPool = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
 
 // Wait blocks for the response (bounded by the client's OpTimeout) and
 // returns it. Wait may be called once from any goroutine.
 func (p *Pending) Wait() (Result, error) {
-	select {
-	case <-p.call.done:
-	case <-time.After(p.timeout):
-		return Result{}, ErrTimeout
+	ca := p.call
+	if ca == nil {
+		// A repeated Wait replays the stored outcome.
+		return p.res, p.err
 	}
-	return p.call.res, p.call.err
+	select {
+	case <-ca.done:
+	default:
+		t := timerPool.Get().(*time.Timer)
+		t.Reset(p.timeout)
+		select {
+		case <-ca.done:
+		case <-t.C:
+			timerPool.Put(t)
+			// The call may still complete later; it is not recycled, so the
+			// late completion writes into an object nobody reads.
+			p.call = nil
+			p.err = ErrTimeout
+			return Result{}, ErrTimeout
+		}
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		timerPool.Put(t)
+	}
+	p.res, p.err = ca.res, ca.err
+	p.call = nil
+	putCall(ca)
+	return p.res, p.err
 }
 
 // traceIDs issues process-unique trace identifiers; 0 means untraced.
@@ -206,25 +257,31 @@ func (cl *Client) submit(op wire.Kind, arg int64, data []byte) (*Pending, error)
 	if err != nil {
 		return nil, err
 	}
-	f := wire.Frame{Kind: op, Arg: arg, Data: data}
+	if len(data) > wire.MaxData {
+		return nil, fmt.Errorf("%w: %d byte payload", wire.ErrFrameTooBig, len(data))
+	}
+	// The call holds its operation unencoded: the writer encodes at flush
+	// time, where it can see which neighbors to coalesce with. The payload
+	// is copied because the caller may reuse its slice the moment an Async
+	// submit returns.
+	ca := getCall()
+	ca.op, ca.arg = op, arg
+	if len(data) > 0 {
+		ca.data = append(ca.data[:0], data...)
+	}
 	fr := cl.cfg.Flight
 	if fr.Enabled() {
-		f.Trace = traceIDs.Add(1)
-		f.SendNano = time.Now().UnixNano()
+		ca.trace = traceIDs.Add(1)
+		ca.sendNano = time.Now().UnixNano()
 	}
-	req, err := wire.Append(nil, f)
-	if err != nil {
-		return nil, err
-	}
-	ca := &call{op: op, trace: f.Trace, req: req, done: make(chan struct{})}
 	// The send stamp is taken here, not in the writer goroutine, so the
 	// measured end-to-end span includes the client-side pipeline wait —
 	// the latency a caller actually experiences.
-	fr.Record(flight.KClientSend, f.Trace, f.SendNano)
+	fr.Record(flight.KClientSend, ca.trace, ca.sendNano)
 	if err := c.enqueue(ca); err != nil {
 		return nil, err
 	}
-	return &Pending{call: ca, timeout: cl.cfg.OpTimeout}, nil
+	return &Pending{call: ca, timeout: cl.cfg.OpTimeout, trace: ca.trace}, nil
 }
 
 // retryable classifies errors the sync wrappers may re-attempt. Connection
@@ -312,33 +369,81 @@ func (cl *Client) DeleteMinAsync() (*Pending, error) {
 	return cl.submit(wire.OpDeleteMin, 0, nil)
 }
 
-// call is one request/response pair in flight.
+// call is one request/response pair in flight. Calls are pooled: the
+// done channel is buffered and signalled by send (not close) so a
+// completed, collected call — along with its payload buffer — is reused
+// by a later submit instead of burning an allocation and a channel per
+// operation.
 type call struct {
-	op    wire.Kind
-	trace uint64 // 0 when untraced
-	req   []byte
-	res   Result
-	err   error
-	once  sync.Once
-	done  chan struct{}
+	op       wire.Kind
+	arg      int64
+	data     []byte // owned copy of the request payload
+	trace    uint64 // 0 when untraced
+	sendNano int64
+	res      Result
+	err      error
+	claimed  atomic.Bool // the completion claim; see complete
+	done     chan struct{}
 }
 
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+// getCall returns a reset pooled call.
+func getCall() *call {
+	ca := callPool.Get().(*call)
+	ca.op, ca.arg = 0, 0
+	ca.data = ca.data[:0]
+	ca.trace, ca.sendNano = 0, 0
+	ca.res, ca.err = Result{}, nil
+	ca.claimed.Store(false)
+	return ca
+}
+
+// putCall recycles a completed call whose outcome has been collected.
+// Callers must never recycle a call that may still complete later (a
+// timed-out Wait): the pool hands it to a new operation.
+func putCall(ca *call) { callPool.Put(ca) }
+
+// batchable reports whether the writer may pack this call into an OpBatch
+// frame: only the queue mutations coalesce, and a traced call keeps its
+// own frame so its trace trailer (and per-op server spans) survive.
+func (c *call) batchable() bool {
+	return (c.op == wire.OpInsert || c.op == wire.OpDeleteMin) && c.trace == 0
+}
+
+// complete delivers the call's outcome exactly once. The claim CAS (not
+// sync.Once, whose done-flag store lands AFTER the function returns and
+// would race with pool reuse) makes the done send the completer's final
+// touch of the call: once Wait receives, the object is quiescent and safe
+// to recycle.
 func (c *call) complete(res Result, err error) {
-	c.once.Do(func() {
-		c.res, c.err = res, err
-		close(c.done)
-	})
+	if !c.claimed.CompareAndSwap(false, true) {
+		return
+	}
+	c.res, c.err = res, err
+	c.done <- struct{}{}
+}
+
+// group is the inflight FIFO unit: the calls answered by one response
+// frame. A single-op frame's group holds one call; an OpBatch frame's
+// group holds every call packed into it, in entry order.
+type group struct {
+	calls []*call
+	batch bool
 }
 
 // conn is one pooled connection: a writer goroutine batching wq into
-// socket writes, a reader goroutine matching response frames to the
-// inflight FIFO.
+// socket writes (and, with Config.BatchMax, coalescing adjacent calls
+// into OpBatch frames), a reader goroutine matching response frames to
+// the inflight FIFO of groups.
 type conn struct {
 	nc       net.Conn
 	wq       chan *call
-	inflight chan *call
+	inflight chan group
 	window   int
 	maxFrame int
+	batchMax int
+	linger   time.Duration
 	fr       *flight.Recorder
 
 	ctx    context.Context
@@ -357,9 +462,11 @@ func dialConn(cfg Config) (*conn, error) {
 	c := &conn{
 		nc:       nc,
 		wq:       make(chan *call, cfg.Window),
-		inflight: make(chan *call, cfg.Window),
+		inflight: make(chan group, cfg.Window),
 		window:   cfg.Window,
 		maxFrame: cfg.MaxFrame,
+		batchMax: cfg.BatchMax,
+		linger:   cfg.BatchLinger,
 		fr:       cfg.Flight,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -403,23 +510,33 @@ func (c *conn) enqueue(ca *call) error {
 	}
 	select {
 	case c.wq <- ca:
-		// If the connection died between the dead check and the send, the
-		// writer may already have drained and exited; sweep again so the
-		// call cannot be stranded.
-		if c.dead.Load() {
-			c.drainPending()
+		// Fast path: the window has room, no select machinery needed.
+	default:
+		select {
+		case c.wq <- ca:
+		case <-c.ctx.Done():
+			return c.failErr()
 		}
-		return nil
-	case <-c.ctx.Done():
-		return c.failErr()
 	}
+	// If the connection died between the dead check and the send, the
+	// writer may already have drained and exited; sweep again so the
+	// call cannot be stranded.
+	if c.dead.Load() {
+		c.drainPending()
+	}
+	return nil
 }
 
-// writeLoop batches queued calls: everything submitted by the time it wakes
-// goes out in one write. Each call enters the inflight FIFO before its
-// bytes are written, preserving request/response order.
+// writeLoop batches queued calls: everything submitted by the time it
+// wakes (plus, with BatchLinger, a bounded wait for stragglers) goes out
+// in one socket write. With BatchMax > 1 runs of adjacent batchable calls
+// are additionally coalesced into OpBatch frames. Each group enters the
+// inflight FIFO before its bytes are written, preserving request/response
+// order.
 func (c *conn) writeLoop() {
 	var out []byte
+	var entries []wire.BatchEntry
+	var lingerTimer *time.Timer
 	batch := make([]*call, 0, c.window)
 	for {
 		select {
@@ -428,6 +545,30 @@ func (c *conn) writeLoop() {
 			return
 		case first := <-c.wq:
 			batch = append(batch[:0], first)
+			if c.linger > 0 {
+				if lingerTimer == nil {
+					lingerTimer = time.NewTimer(c.linger)
+				} else {
+					lingerTimer.Reset(c.linger)
+				}
+			lingering:
+				for len(batch) < c.window {
+					select {
+					case more := <-c.wq:
+						batch = append(batch, more)
+					case <-lingerTimer.C:
+						break lingering
+					case <-c.ctx.Done():
+						break lingering
+					}
+				}
+				if !lingerTimer.Stop() {
+					select {
+					case <-lingerTimer.C:
+					default:
+					}
+				}
+			}
 		gather:
 			for len(batch) < c.window {
 				select {
@@ -439,18 +580,62 @@ func (c *conn) writeLoop() {
 			}
 			out = out[:0]
 			aborted := false
-			for _, ca := range batch {
+			for i := 0; i < len(batch); {
 				if aborted {
-					ca.complete(Result{}, c.failErr())
+					batch[i].complete(Result{}, c.failErr())
+					i++
+					continue
+				}
+				// Coalesce the run of batchable calls starting here, bounded
+				// by BatchMax entries and by the frame budget; a run of one
+				// is cheaper as a plain single-op frame.
+				j := i
+				if c.batchMax > 1 && batch[i].batchable() {
+					size := 0
+					for j < len(batch) && j-i < c.batchMax && batch[j].batchable() {
+						size += 13 + len(batch[j].data)
+						if 9+size > c.maxFrame {
+							break
+						}
+						j++
+					}
+				}
+				var g group
+				var err error
+				if j-i >= 2 {
+					entries = entries[:0]
+					for _, ca := range batch[i:j] {
+						entries = append(entries, wire.BatchEntry{Kind: ca.op, Arg: ca.arg, Data: ca.data})
+					}
+					out, err = wire.AppendBatch(out, entries, 0, 0)
+					g = group{calls: append([]*call(nil), batch[i:j]...), batch: true}
+				} else {
+					ca := batch[i]
+					out, err = wire.Append(out, wire.Frame{
+						Kind: ca.op, Arg: ca.arg, Data: ca.data,
+						Trace: ca.trace, SendNano: ca.sendNano,
+					})
+					g = group{calls: append([]*call(nil), ca)}
+					j = i + 1
+				}
+				if err != nil {
+					// Encoding is validated at submit; an error here is a bug,
+					// but failing the calls beats wedging the pipeline.
+					for _, ca := range g.calls {
+						ca.complete(Result{}, err)
+					}
+					i = j
 					continue
 				}
 				select {
-				case c.inflight <- ca:
-					out = append(out, ca.req...)
+				case c.inflight <- g:
 				case <-c.ctx.Done():
-					ca.complete(Result{}, c.failErr())
+					for _, ca := range g.calls {
+						ca.complete(Result{}, c.failErr())
+					}
 					aborted = true
 				}
+				i = j
 			}
 			if aborted {
 				c.drainPending()
@@ -466,7 +651,8 @@ func (c *conn) writeLoop() {
 	}
 }
 
-// readLoop completes inflight calls as response frames arrive.
+// readLoop completes inflight groups as response frames arrive: one
+// frame answers one group — a single call, or every call of a batch.
 func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 64<<10)
 	var buf []byte
@@ -478,9 +664,9 @@ func (c *conn) readLoop() {
 			c.drainPending()
 			return
 		}
-		var ca *call
+		var g group
 		select {
-		case ca = <-c.inflight:
+		case g = <-c.inflight:
 		default:
 			// A frame with nothing outstanding: the server's one-frame
 			// refusal of the whole connection, or a protocol violation.
@@ -495,11 +681,49 @@ func (c *conn) readLoop() {
 			c.drainPending()
 			return
 		}
+		if g.batch {
+			if err := c.completeBatch(g, f); err != nil {
+				c.fail(err)
+				c.drainPending()
+				return
+			}
+			continue
+		}
+		ca := g.calls[0]
 		if ca.trace != 0 {
 			c.fr.Record(flight.KClientRecv, ca.trace, 0)
 		}
 		ca.complete(decodeResponse(ca.op, f))
 	}
+}
+
+// completeBatch fans one response frame out to a batch group's calls.
+// The normal answer is StatusBatch with one status entry per call, in
+// call order; a whole-frame BUSY/SHUTDOWN/ERR refusal completes every
+// call with that error. Anything else is a protocol violation that kills
+// the connection.
+func (c *conn) completeBatch(g group, f wire.Frame) error {
+	switch f.Kind {
+	case wire.StatusBatch:
+		entries, err := wire.DecodeBatch(f)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrConn, err)
+		}
+		if len(entries) != len(g.calls) {
+			return fmt.Errorf("%w: batch answered %d of %d ops", ErrConn, len(entries), len(g.calls))
+		}
+		for i, ca := range g.calls {
+			e := entries[i]
+			ca.complete(decodeResponse(ca.op, wire.Frame{Kind: e.Kind, Arg: e.Arg, Data: e.Data}))
+		}
+		return nil
+	case wire.StatusBusy, wire.StatusShutdown, wire.StatusErr:
+		for _, ca := range g.calls {
+			ca.complete(decodeResponse(ca.op, f))
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %v frame answering a batch", ErrConn, f.Kind)
 }
 
 // decodeResponse maps one response frame to the call's Result/error.
@@ -537,8 +761,10 @@ func (c *conn) drainPending() {
 		select {
 		case ca := <-c.wq:
 			ca.complete(Result{}, err)
-		case ca := <-c.inflight:
-			ca.complete(Result{}, err)
+		case g := <-c.inflight:
+			for _, ca := range g.calls {
+				ca.complete(Result{}, err)
+			}
 		default:
 			return
 		}

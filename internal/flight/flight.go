@@ -113,6 +113,14 @@ const (
 	// operation fell back to the linear head scan (internal/spray). Arg
 	// is the number of spray attempts that came up empty.
 	KSprayFallback
+	// KBatchAssemble: a server worker finished gathering one combined
+	// apply run — the micro-batches of every connection it drained in one
+	// wakeup. Arg is the number of operations in the run.
+	KBatchAssemble
+	// KBatchApply: the combined run's backend applies (and its single WAL
+	// commit, when durable) finished. Arg is the run duration in
+	// nanoseconds.
+	KBatchApply
 )
 
 // kindNames indexes Kind.String; keep in sync with the constants above.
@@ -134,6 +142,8 @@ var kindNames = [...]string{
 	KFsyncStall:    "anomaly.fsync_stall",
 	KTornTail:      "anomaly.torn_tail",
 	KSprayFallback: "spray.fallback",
+	KBatchAssemble: "batch.assemble",
+	KBatchApply:    "batch.apply",
 }
 
 // String names the kind for dumps and tables.

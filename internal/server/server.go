@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,10 @@ const (
 	DefaultMaxConns    = 1024
 	DefaultMaxInflight = 128
 	DefaultDrainWindow = 250 * time.Millisecond
+	// DefaultBatchMaxOps is the operational cap on operations per OpBatch
+	// frame; a larger batch is answered StatusErr. The protocol ceiling is
+	// wire.MaxBatchOps.
+	DefaultBatchMaxOps = 1024
 )
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -109,6 +114,19 @@ type Config struct {
 	// the same sync window). Configure the Backend as the matching
 	// wal.Queue wrapper — the server only drives the barrier.
 	WAL Durability
+	// Workers is the number of apply loops connections are sharded onto;
+	// 0 selects GOMAXPROCS. Each worker combines the pending micro-batches
+	// of every connection it owns into one apply run with one WAL commit.
+	Workers int
+	// BatchMaxOps caps operations per OpBatch frame (0 selects
+	// DefaultBatchMaxOps); a larger batch is answered StatusErr without
+	// touching the backend.
+	BatchMaxOps int
+	// BatchLinger, if positive, is how long a worker waits after its first
+	// pending task for more connections' batches to join the apply run —
+	// trading per-op latency for combining width. Zero lingers not at all:
+	// a run combines only what is already queued.
+	BatchLinger time.Duration
 }
 
 // probes are the server's observability hooks, nil without Config.Metrics.
@@ -160,10 +178,35 @@ func newProbes(enabled bool) probes {
 	}
 }
 
+// batchProbes are the batched-data-plane hooks, set "skipqueue.batch";
+// nil without Config.Metrics.
+type batchProbes struct {
+	set     *obs.Set
+	size    *obs.Hist    // batch.size: operations per OpBatch frame
+	flushes *obs.Counter // coalesce.flushes: combined worker apply runs
+	runOps  *obs.Hist    // coalesce.ops: operations per connection flush
+	vectors *obs.Counter // vector.writes: response writes that spliced buffers
+}
+
+func newBatchProbes(enabled bool) batchProbes {
+	if !enabled {
+		return batchProbes{}
+	}
+	set := obs.NewSet("skipqueue.batch")
+	return batchProbes{
+		set:     set,
+		size:    set.Values("batch.size"),
+		flushes: set.Counter("coalesce.flushes"),
+		runOps:  set.Values("coalesce.ops"),
+		vectors: set.Counter("vector.writes"),
+	}
+}
+
 // Server serves one Backend over the wire protocol. Construct with New.
 type Server struct {
-	cfg Config
-	obs probes
+	cfg  Config
+	obs  probes
+	bobs batchProbes
 
 	draining atomic.Bool
 
@@ -173,6 +216,12 @@ type Server struct {
 	closed bool
 
 	connWG sync.WaitGroup
+
+	workers     []*worker
+	nextWorker  atomic.Uint64
+	workerWG    sync.WaitGroup
+	startWorker sync.Once
+	stopWorker  sync.Once
 }
 
 // New returns an unstarted server; call Serve or ListenAndServe.
@@ -194,15 +243,57 @@ func New(cfg Config) *Server {
 	if cfg.DrainWindow <= 0 {
 		cfg.DrainWindow = DefaultDrainWindow
 	}
-	return &Server{
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchMaxOps <= 0 {
+		cfg.BatchMaxOps = DefaultBatchMaxOps
+	}
+	if cfg.BatchMaxOps > wire.MaxBatchOps {
+		cfg.BatchMaxOps = wire.MaxBatchOps
+	}
+	s := &Server{
 		cfg:   cfg,
 		obs:   newProbes(cfg.Metrics),
+		bobs:  newBatchProbes(cfg.Metrics),
 		conns: map[net.Conn]struct{}{},
 	}
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		s.workers[i] = &worker{s: s, tasks: make(chan *task, 64)}
+	}
+	return s
+}
+
+// startWorkers launches the apply loops; called once, on first admit, so
+// an unserved Server leaks no goroutines.
+func (s *Server) startWorkers() {
+	s.startWorker.Do(func() {
+		for _, w := range s.workers {
+			s.workerWG.Add(1)
+			go w.loop()
+		}
+	})
+}
+
+// stopWorkers ends the apply loops. It must only run after every
+// connection handler has exited — a handler with a task in flight would
+// otherwise wait forever.
+func (s *Server) stopWorkers() {
+	s.stopWorker.Do(func() {
+		for _, w := range s.workers {
+			close(w.tasks)
+		}
+		s.workerWG.Wait()
+	})
 }
 
 // Snapshot reads the server's probes (zero Snapshot without Config.Metrics).
 func (s *Server) Snapshot() obs.Snapshot { return s.obs.set.Snapshot() }
+
+// BatchSnapshot reads the batched-data-plane probes, set "skipqueue.batch"
+// (zero Snapshot without Config.Metrics).
+func (s *Server) BatchSnapshot() obs.Snapshot { return s.bobs.set.Snapshot() }
 
 // Flight returns the server's flight recorder (nil without Config.Flight).
 func (s *Server) Flight() *flight.Recorder { return s.cfg.Flight }
@@ -288,14 +379,19 @@ func (s *Server) admit(nc net.Conn) {
 		return
 	}
 	s.obs.accepted.Inc()
-	go s.handle(nc)
+	s.startWorkers()
+	// Shard the connection onto an apply loop. Round-robin is the hash:
+	// with synchronous readers it balances exactly and never strands a hot
+	// connection behind an idle worker.
+	w := s.workers[s.nextWorker.Add(1)%uint64(len(s.workers))]
+	go s.handle(nc, w)
 }
 
 // connBufSize sizes the per-connection read buffer; it is also the upper
 // bound on how many request bytes one micro-batch can drain.
 const connBufSize = 64 << 10
 
-func (s *Server) handle(nc net.Conn) {
+func (s *Server) handle(nc net.Conn, w *worker) {
 	defer func() {
 		nc.Close()
 		s.mu.Lock()
@@ -307,12 +403,12 @@ func (s *Server) handle(nc net.Conn) {
 
 	br := newConnReader(nc, connBufSize)
 	var rbuf []byte // wire.Read scratch; frame Data aliases it
-	var out []byte  // accumulated response frames, one Write per batch
-	metered := s.obs.set.Enabled()
 	fr := s.cfg.Flight
-	// traced carries the batch's traced frames from read to flush; reused
-	// across batches so steady-state handling stays allocation-free.
-	var traced []tracedReq
+	// t is this connection's one task, reused for every micro-batch: the
+	// reader never has more than one in flight, which is what makes the
+	// worker handoff FIFO-preserving and the reuse race-free.
+	t := newTask()
+	var bufs net.Buffers
 
 	for {
 		f, rb, err := wire.Read(br, rbuf, s.cfg.MaxFrame)
@@ -330,19 +426,15 @@ func (s *Server) handle(nc net.Conn) {
 			return
 		}
 
-		out = out[:0]
-		traced = traced[:0]
+		t.reset()
 		batch := 0
-		mutated := false
 		for {
 			if fr.Enabled() && f.Traced() {
 				ts := fr.Now()
 				fr.RecordAt(ts, flight.KServerRead, f.Trace, f.SendNano)
-				traced = append(traced, tracedReq{trace: f.Trace, readTS: ts})
+				t.traced = append(t.traced, tracedReq{trace: f.Trace, readTS: ts})
 			}
-			var m bool
-			out, m = s.apply(f, out, metered)
-			mutated = mutated || m
+			t.addFrame(f, s.cfg.BatchMaxOps)
 			batch++
 			if batch >= s.cfg.MaxInflight {
 				s.obs.stalls.Inc()
@@ -361,23 +453,32 @@ func (s *Server) handle(nc net.Conn) {
 			}
 		}
 		s.obs.batch.ObserveN(uint64(batch))
-		// Durable ACK: before the batch's responses leave the server, every
-		// mutation it applied must survive a crash. One Commit covers the
-		// whole micro-batch — group commit at the connection level on top of
-		// the WAL's own cross-connection batching. On a commit failure the
-		// connection drops without answering: an un-ACKed operation is
-		// indeterminate to the client, which is exactly what it is on disk.
-		if mutated && s.cfg.WAL != nil {
-			if err := s.cfg.WAL.Commit(); err != nil {
+		// Adaptive hand-off: combining pays only when there is something
+		// to combine with — a WAL fsync to share, a linger window, or
+		// tasks already queued on this connection's worker. Then the
+		// worker applies the micro-batch (and covers it with the run's
+		// WAL commit). Otherwise apply inline and skip the hand-off
+		// round-trip. The response write stays here either way, so a
+		// slow client blocks only itself.
+		if s.cfg.WAL == nil && s.cfg.BatchLinger == 0 && len(w.tasks) == 0 {
+			s.applyInline(t)
+		} else {
+			w.tasks <- t
+			<-t.done
+			if t.err != nil {
 				return
 			}
 		}
 		nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
-		if _, werr := nc.Write(out); werr != nil {
+		bufs = t.resp.appendBuffers(bufs[:0])
+		if len(bufs) > 1 {
+			s.bobs.vectors.Inc()
+		}
+		if _, werr := bufs.WriteTo(nc); werr != nil {
 			return
 		}
 		if fr.Enabled() {
-			s.finishBatch(fr, traced, batch)
+			s.finishBatch(fr, t.traced, batch)
 		}
 	}
 }
@@ -404,69 +505,39 @@ func (s *Server) finishBatch(fr *flight.Recorder, traced []tracedReq, batch int)
 	fr.Record(flight.KServerBatch, 0, int64(batch))
 }
 
-// apply executes one request frame against the backend and appends the
-// response frame to out; mutated reports whether the backend changed (the
-// signal that the batch needs a WAL commit before its replies flush).
-// During a drain every request is answered SHUTDOWN without touching the
-// backend.
-func (s *Server) apply(f wire.Frame, out []byte, metered bool) (_ []byte, mutated bool) {
-	s.obs.frames.Inc()
-	if s.draining.Load() {
-		s.obs.shutdownReplies.Inc()
-		out, _ = wire.Append(out, wire.Frame{Kind: wire.StatusShutdown})
-		return out, false
-	}
-	// A traced frame is timed even without metrics: its apply duration is
-	// the span attribution's "structure time".
-	timed := metered || (s.cfg.Flight.Enabled() && f.Traced())
-	var t0 time.Time
-	if timed {
-		t0 = time.Now()
-	}
-	var resp wire.Frame
-	switch f.Kind {
+// applyOp executes one operation — a single-op frame or one batch entry —
+// against the backend and returns its status triple; mutated reports
+// whether the backend changed (the signal that the run needs a WAL commit
+// before its replies flush). data is owned by the caller's gather copy,
+// so an insert hands it to the backend directly.
+func (s *Server) applyOp(k wire.Kind, arg int64, data []byte) (st wire.Kind, rarg int64, rdata []byte, mutated bool) {
+	switch k {
 	case wire.OpInsert:
 		s.obs.insert.Inc()
-		// f.Data aliases the connection read buffer; the backend keeps the
-		// value, so it gets its own copy.
-		v := make([]byte, len(f.Data))
-		copy(v, f.Data)
-		s.cfg.Backend.Push(f.Arg, v)
-		resp = wire.Frame{Kind: wire.StatusOK}
-		mutated = true
+		s.cfg.Backend.Push(arg, data)
+		return wire.StatusOK, 0, nil, true
 	case wire.OpDeleteMin:
 		s.obs.deleteMin.Inc()
 		if p, v, ok := s.cfg.Backend.Pop(); ok {
-			resp = wire.Frame{Kind: wire.StatusOK, Arg: p, Data: v}
-			mutated = true
-		} else {
-			resp = wire.Frame{Kind: wire.StatusEmpty}
+			return wire.StatusOK, p, v, true
 		}
+		return wire.StatusEmpty, 0, nil, false
 	case wire.OpPeek:
 		s.obs.peek.Inc()
 		if p, v, ok := s.cfg.Backend.Peek(); ok {
-			resp = wire.Frame{Kind: wire.StatusOK, Arg: p, Data: v}
-		} else {
-			resp = wire.Frame{Kind: wire.StatusEmpty}
+			return wire.StatusOK, p, v, false
 		}
+		return wire.StatusEmpty, 0, nil, false
 	case wire.OpLen:
 		s.obs.length.Inc()
-		resp = wire.Frame{Kind: wire.StatusOK, Arg: int64(s.cfg.Backend.Len())}
+		return wire.StatusOK, int64(s.cfg.Backend.Len()), nil, false
 	case wire.OpPing:
 		s.obs.ping.Inc()
-		resp = wire.Frame{Kind: wire.StatusOK}
+		return wire.StatusOK, 0, nil, false
 	default:
 		s.obs.bad.Inc()
-		resp = wire.Frame{Kind: wire.StatusErr, Data: []byte("not a request: " + f.Kind.String())}
+		return wire.StatusErr, 0, []byte("not a request: " + k.String()), false
 	}
-	if metered {
-		s.obs.applyLat.Since(t0)
-	}
-	if s.cfg.Flight.Enabled() && f.Traced() {
-		s.cfg.Flight.Record(flight.KServerApply, f.Trace, int64(time.Since(t0)))
-	}
-	out, _ = wire.Append(out, resp)
-	return out, mutated
 }
 
 // Shutdown drains the server: it stops accepting, keeps normal replies for
@@ -529,10 +600,12 @@ func (s *Server) waitConns(ctx context.Context) error {
 	select {
 	case <-done:
 		s.finishClose()
+		s.stopWorkers()
 		return nil
 	case <-ctx.Done():
 		s.finishClose()
 		<-done
+		s.stopWorkers()
 		return ctx.Err()
 	}
 }
@@ -557,5 +630,6 @@ func (s *Server) Close() error {
 	s.draining.Store(true)
 	s.finishClose()
 	s.connWG.Wait()
+	s.stopWorkers()
 	return nil
 }

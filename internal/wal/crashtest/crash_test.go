@@ -169,6 +169,10 @@ func (p *pqdProc) kill() {
 
 // load hammers the daemon with a mixed push/pop workload from several
 // workers until the connections die (the kill) or the duration elapses.
+// Half the workers run with the client-side op coalescer on, so every
+// cycle crashes the daemon mid-batch as well as mid-frame: a WAL commit
+// that covered only part of an applied batch, or an ACK fan-out that
+// outran durability, shows up as a conservation failure here.
 func load(h *history, ids *atomic.Uint64, addr string, d time.Duration, seed int64) {
 	const workers = 4
 	deadline := time.Now().Add(d)
@@ -178,39 +182,117 @@ func load(h *history, ids *atomic.Uint64, addr string, d time.Duration, seed int
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
-			cl, err := client.Dial(client.Config{Addr: addr, Retries: -1})
+			cfg := client.Config{Addr: addr, Retries: -1}
+			if w%2 == 0 {
+				cfg.BatchMax = 16
+				cfg.BatchLinger = 100 * time.Microsecond
+			}
+			cl, err := client.Dial(cfg)
 			if err != nil {
 				return // daemon already dead
 			}
 			defer cl.Close()
-			for time.Now().Before(deadline) {
-				if rng.Intn(10) < 7 {
-					id := ids.Add(1)
-					key := int64(rng.Intn(1000))
-					if err := cl.Insert(key, []byte(strconv.FormatUint(id, 10))); err != nil {
-						h.failPush(id, key)
-						return
-					}
-					h.ackPush(id, key)
-				} else {
-					key, v, found, err := cl.DeleteMin()
-					if err != nil {
-						h.failPop()
-						return
-					}
-					if !found {
-						continue
-					}
-					id, perr := strconv.ParseUint(string(v), 10, 64)
-					if perr != nil {
-						panic(fmt.Sprintf("crashtest: delivered value %q is not an id", v))
-					}
-					h.ackPop(id, key)
-				}
+			if cfg.BatchMax > 0 {
+				loadBatched(h, ids, cl, rng, deadline)
+			} else {
+				loadSync(h, ids, cl, rng, deadline)
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// loadSync issues one synchronous op at a time, the single-frame data plane.
+func loadSync(h *history, ids *atomic.Uint64, cl *client.Client, rng *rand.Rand, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		if rng.Intn(10) < 7 {
+			id := ids.Add(1)
+			key := int64(rng.Intn(1000))
+			if err := cl.Insert(key, []byte(strconv.FormatUint(id, 10))); err != nil {
+				h.failPush(id, key)
+				return
+			}
+			h.ackPush(id, key)
+		} else {
+			key, v, found, err := cl.DeleteMin()
+			if err != nil {
+				h.failPop()
+				return
+			}
+			if !found {
+				continue
+			}
+			id, perr := strconv.ParseUint(string(v), 10, 64)
+			if perr != nil {
+				panic(fmt.Sprintf("crashtest: delivered value %q is not an id", v))
+			}
+			h.ackPop(id, key)
+		}
+	}
+}
+
+// loadBatched keeps a window of async ops in flight so the client coalescer
+// actually packs OpBatch frames; every completion is reconciled the same way
+// as the sync path, and the whole window is accounted when the crash lands.
+func loadBatched(h *history, ids *atomic.Uint64, cl *client.Client, rng *rand.Rand, deadline time.Time) {
+	type slot struct {
+		p      *client.Pending
+		insert bool
+		id     uint64
+		key    int64
+	}
+	var pend []slot
+	flush := func() bool {
+		ok := true
+		for _, s := range pend {
+			res, err := s.p.Wait()
+			switch {
+			case err != nil && s.insert:
+				h.failPush(s.id, s.key)
+				ok = false
+			case err != nil:
+				h.failPop()
+				ok = false
+			case s.insert:
+				h.ackPush(s.id, s.key)
+			case res.Found:
+				id, perr := strconv.ParseUint(string(res.Value), 10, 64)
+				if perr != nil {
+					panic(fmt.Sprintf("crashtest: delivered value %q is not an id", res.Value))
+				}
+				h.ackPop(id, res.Priority)
+			}
+		}
+		pend = pend[:0]
+		return ok
+	}
+	const window = 32
+	for time.Now().Before(deadline) {
+		var s slot
+		var err error
+		if rng.Intn(10) < 7 {
+			s.insert = true
+			s.id = ids.Add(1)
+			s.key = int64(rng.Intn(1000))
+			s.p, err = cl.InsertAsync(s.key, []byte(strconv.FormatUint(s.id, 10)))
+		} else {
+			s.p, err = cl.DeleteMinAsync()
+		}
+		if err != nil {
+			if s.insert {
+				h.failPush(s.id, s.key)
+			} else {
+				h.failPop()
+			}
+			flush()
+			return
+		}
+		pend = append(pend, s)
+		if len(pend) == window && !flush() {
+			return
+		}
+	}
+	flush()
 }
 
 // TestCrashRecovery is the acceptance gate: N kill -9/recover cycles with

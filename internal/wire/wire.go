@@ -59,6 +59,10 @@ const (
 	OpLen Kind = 0x04
 	// OpPing is a no-op round trip (health checks, latency probes).
 	OpPing Kind = 0x05
+	// OpBatch carries many single-op requests in one frame: arg is the
+	// entry count, data the packed entries (see batch.go). Answered by
+	// exactly one StatusBatch frame with one status entry per operation.
+	OpBatch Kind = 0x06
 
 	// StatusOK answers a successful request. For DeleteMin/Peek arg is the
 	// priority and data the value; for Len arg is the count; for
@@ -76,6 +80,10 @@ const (
 	// StatusErr reports a malformed or unsupported request; data holds a
 	// human-readable message. The connection stays usable.
 	StatusErr Kind = 0x84
+	// StatusBatch answers OpBatch: arg is the entry count (equal to the
+	// request's), data the packed per-op status entries in operation
+	// order (see batch.go).
+	StatusBatch Kind = 0x85
 
 	// FlagTraced marks a frame carrying the 16-byte trace trailer (trace
 	// ID + send timestamp) between arg and data. It is a wire-level flag:
@@ -85,10 +93,10 @@ const (
 )
 
 // IsRequest reports whether k is a client-to-server op.
-func (k Kind) IsRequest() bool { return k >= OpInsert && k <= OpPing }
+func (k Kind) IsRequest() bool { return k >= OpInsert && k <= OpBatch }
 
 // IsResponse reports whether k is a server-to-client status.
-func (k Kind) IsResponse() bool { return k >= StatusOK && k <= StatusErr }
+func (k Kind) IsResponse() bool { return k >= StatusOK && k <= StatusBatch }
 
 // String names the kind for diagnostics.
 func (k Kind) String() string {
@@ -103,6 +111,8 @@ func (k Kind) String() string {
 		return "Len"
 	case OpPing:
 		return "Ping"
+	case OpBatch:
+		return "Batch"
 	case StatusOK:
 		return "OK"
 	case StatusEmpty:
@@ -113,6 +123,8 @@ func (k Kind) String() string {
 		return "SHUTDOWN"
 	case StatusErr:
 		return "ERR"
+	case StatusBatch:
+		return "BATCH"
 	}
 	return fmt.Sprintf("Kind(0x%02x)", byte(k))
 }
