@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest loadtest-batch loadtest-wal crash-smoke obs-smoke
+.PHONY: all build vet test race bench bench-smoke bench-check check experiments verify pqd loadtest loadtest-batch loadtest-wal loadtest-lease crash-smoke lease-smoke obs-smoke
 
 all: build test
 
@@ -55,6 +55,8 @@ BENCH_TOLERANCE ?= 0.30
 bench-check:
 	go run ./cmd/benchcheck \
 		-ratio-base BENCH_server.json -ratio-fresh BENCH_server_batch.json -ratio-min 3.0
+	go run ./cmd/benchcheck \
+		-ratio-base BENCH_server.json -ratio-fresh BENCH_server_lease.json -ratio-min 0.7
 	$(MAKE) loadtest LOADTEST_DURATION=5s LOADTEST_OUT=.bench_server_fresh.json
 	$(MAKE) loadtest LOADTEST_DURATION=5s LOADTEST_OUT=.bench_server_batch_fresh.json \
 		PQLOAD_FLAGS="-batch 64 -batch-linger 400us -workers 384"
@@ -84,7 +86,7 @@ pqd:
 # /healthz through a drain, and /debug/flight span content — plus the
 # flight recorder's own test battery, all under the race detector.
 obs-smoke:
-	go test -race -count=1 -run 'ObsSmoke|RunDrainsOnSIGTERM' ./cmd/pqd/
+	go test -race -count=1 -run 'ObsSmoke|RunDrainsOnSIGTERM|RunLeaseMode|RunVersion' ./cmd/pqd/
 	go test -race -count=1 ./internal/flight/ ./internal/admin/
 
 LOADTEST_DURATION ?= 10s
@@ -128,11 +130,27 @@ loadtest-wal:
 		PQD_FLAGS="-wal-dir .wal-loadtest -wal-mode sync"
 	rm -rf .wal-loadtest
 
+# Durable lease loopback: the at-least-once loadtest whose report is the
+# committed BENCH_server_lease.json baseline; bench-check requires leased
+# consumption (PopLease + Ack round trips) to hold ≥0.7× the plain
+# DeleteMin op rate of BENCH_server.json.
+loadtest-lease:
+	$(MAKE) loadtest LOADTEST_OUT=BENCH_server_lease.json \
+		PQD_FLAGS="-lease -lease-ttl 30s" PQLOAD_FLAGS="-lease"
+
 # Crash-injection battery: 25 kill -9/recover cycles against a real pqd
 # under concurrent durable load, verifying exact multiset conservation of
 # every acknowledged operation (see internal/wal/crashtest).
 crash-smoke:
 	go test -count=1 -v -run TestCrashRecovery ./internal/wal/crashtest/ -crash-cycles=25
+
+# At-least-once crash battery: 25 cycles of kill -9'd consumer processes
+# (with periodic daemon kills layered in) against a lease-enabled durable
+# pqd, verifying zero acked-element loss, zero post-ack delivery, and
+# redelivery of every orphaned lease within two expiry windows (see
+# internal/lease/crashtest).
+lease-smoke:
+	go test -count=1 -v -run TestConsumerCrashRedelivery ./internal/lease/crashtest/ -lease-crash-cycles=25
 
 short:
 	go test -short ./...

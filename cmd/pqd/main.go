@@ -50,6 +50,7 @@ import (
 	"skipqueue"
 	"skipqueue/internal/admin"
 	"skipqueue/internal/flight"
+	"skipqueue/internal/lease"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/server"
 	"skipqueue/internal/wal"
@@ -138,9 +139,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		walSyncIvl  = fs.Duration("wal-sync-interval", wal.DefaultSyncInterval, "max time appended WAL records wait for their group-commit fsync")
 		walSegBytes = fs.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
 		walSnapSegs = fs.Int("wal-snapshot-segments", 0, "segments retained before a rotation triggers snapshot compaction (0 = default 4, negative = never)")
+		leaseOn     = fs.Bool("lease", false, "enable the at-least-once lease protocol (PopLease/Ack/Nack/Extend/InsertDelay)")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "default lease duration when the client does not request one")
+		leaseTick   = fs.Duration("lease-tick", 10*time.Millisecond, "lease expiry sweep granularity")
+		maxDeliver  = fs.Int("max-deliveries", 0, "deliveries before an unacked element is dead-lettered (0 = never)")
+		version     = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprint(stdout, admin.BuildInfoText())
+		return 0
 	}
 	if *adminAddr == "" {
 		*adminAddr = *metricsAddr
@@ -187,6 +197,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*walDir, *walMode, rec.Records, len(rec.Items), rec.SnapshotItems, rec.TornTail)
 	}
 
+	// With -lease the (possibly WAL-wrapped) backend is decorated once
+	// more: the table owns delivery counts, delayed visibility, and the
+	// dead-letter queue, and the server exposes the protocol opcodes.
+	// Over a wal.Queue the table's grants/acks/requeues are durable.
+	var leaseTbl *lease.Table
+	if *leaseOn {
+		leaseTbl = lease.New(lease.Config{
+			TTL:           *leaseTTL,
+			Tick:          *leaseTick,
+			MaxDeliveries: *maxDeliver,
+			Metrics:       metrics,
+			Flight:        serverFR,
+		}, backend)
+		backend = leaseTbl
+		fmt.Fprintf(stdout, "pqd: lease: ttl=%v tick=%v max-deliveries=%d durable=%v\n",
+			*leaseTTL, *leaseTick, *maxDeliver, leaseTbl.Durable())
+	}
+
 	srvCfg := server.Config{
 		Backend:     backend,
 		MaxConns:    *maxConns,
@@ -199,6 +227,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:     *workers,
 		BatchMaxOps: *batchMax,
 		BatchLinger: *batchLinger,
+		Lease:       leaseTbl,
 	}
 	if durable != nil {
 		srvCfg.WAL = durable
@@ -216,14 +245,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		publish("pqd.server", srv.Snapshot)
 		publish("pqd.batch", srv.BatchSnapshot)
 		publish("pqd.backend", inst.Snapshot)
-		snapshots := func() []obs.Snapshot {
-			return []obs.Snapshot{srv.Snapshot(), srv.BatchSnapshot(), inst.Snapshot()}
-		}
+		snapFns := []func() obs.Snapshot{srv.Snapshot, srv.BatchSnapshot, inst.Snapshot}
 		if durable != nil {
 			publish("pqd.wal", durable.Log().Snapshot)
-			snapshots = func() []obs.Snapshot {
-				return []obs.Snapshot{srv.Snapshot(), srv.BatchSnapshot(), inst.Snapshot(), durable.Log().Snapshot()}
+			snapFns = append(snapFns, durable.Log().Snapshot)
+		}
+		if leaseTbl != nil {
+			publish("pqd.lease", leaseTbl.Snapshot)
+			snapFns = append(snapFns, leaseTbl.Snapshot)
+		}
+		snapshots := func() []obs.Snapshot {
+			out := make([]obs.Snapshot, len(snapFns))
+			for i, fn := range snapFns {
+				out[i] = fn()
 			}
+			return out
 		}
 		adm = admin.New(admin.Config{
 			Namespace: "pqd",
@@ -236,7 +272,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "pqd: admin listener: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "pqd: admin addr=%s endpoints=/metrics,/healthz,/debug/flight,/debug/pprof,/debug/vars\n", mln.Addr())
+		fmt.Fprintf(stdout, "pqd: admin addr=%s endpoints=/metrics,/healthz,/buildinfo,/debug/flight,/debug/pprof,/debug/vars\n", mln.Addr())
 		admErr = make(chan error, 1)
 		go func() { admErr <- adm.Serve(mln) }()
 	}
@@ -280,6 +316,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err := srv.Shutdown(ctx)
 		cancel()
 		<-serveErr
+		// Shutdown has nacked outstanding leases back; the sweeper can
+		// stop now that no lease can expire.
+		if leaseTbl != nil {
+			leaseTbl.Close()
+			fmt.Fprintf(stdout, "pqd: lease: closed outstanding=%d dead=%d\n",
+				leaseTbl.Outstanding(), leaseTbl.DeadLen())
+		}
 		// The data plane is quiet; the WAL's last duty is a final sync and
 		// snapshot so the next boot replays a snapshot, not a long log tail.
 		if durable != nil {
@@ -313,6 +356,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	case err := <-serveErr:
 		draining.Store(true)
+		if leaseTbl != nil {
+			leaseTbl.Close()
+		}
 		if durable != nil {
 			durable.Close()
 		}

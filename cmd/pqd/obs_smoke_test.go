@@ -65,6 +65,7 @@ func TestObsSmoke(t *testing.T) {
 			"-flight", "1024",
 			"-drain-window", "50ms",
 			"-wal-dir", t.TempDir(),
+			"-lease",
 		}, w, &stderr)
 	}()
 	var addr string
@@ -95,6 +96,17 @@ func TestObsSmoke(t *testing.T) {
 		if _, _, found, err := cl.DeleteMin(); err != nil || !found {
 			t.Fatalf("DeleteMin %d: found=%v err=%v", i, found, err)
 		}
+	}
+	// One lease round trip so the skipqueue.lease probes carry traffic.
+	if err := cl.Insert(1, []byte("leased")); err != nil {
+		t.Fatal(err)
+	}
+	l, found, err := cl.PopLease(0)
+	if err != nil || !found {
+		t.Fatalf("PopLease: found=%v err=%v", found, err)
+	}
+	if err := l.Ack(); err != nil {
+		t.Fatalf("Ack: %v", err)
 	}
 
 	if code, body := adminGet(t, adminAddr, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
@@ -176,8 +188,9 @@ func TestObsSmoke(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
-	// The WAL boot and drain lines bracket the run.
-	for _, want := range []string{"pqd: wal: recovered", "pqd: wal: closed"} {
+	// The WAL and lease boot and drain lines bracket the run.
+	for _, want := range []string{"pqd: wal: recovered", "pqd: wal: closed",
+		"pqd: lease: ttl=", "pqd: lease: closed"} {
 		if !strings.Contains(w.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, w.String())
 		}

@@ -15,6 +15,13 @@
 //     from the scheduled dispatch time, so queueing delay shows up in the
 //     quantiles instead of being silently omitted (Gruber's
 //     coordinated-omission point).
+//
+// With -lease (closed loop only, against a pqd started with -lease) the
+// consume side speaks the at-least-once protocol instead of DeleteMin:
+// each pop is a PopLease round trip followed by an Ack round trip, both
+// counted and timed as separate operations. -lease-abandon simulates
+// consumer crashes: that fraction of granted leases is never acked, so
+// the server's expiry sweep redelivers them mid-run.
 package main
 
 import (
@@ -77,6 +84,13 @@ type report struct {
 	Insert    latSummary `json:"insert"`
 	DeleteMin latSummary `json:"deletemin"`
 	FinalLen  int        `json:"final_len"`
+
+	// Lease-mode extras (with -lease).
+	Lease     bool        `json:"lease,omitempty"`
+	Abandon   float64     `json:"lease_abandon,omitempty"`
+	Abandoned uint64      `json:"leases_abandoned,omitempty"`
+	PopLease  *latSummary `json:"poplease,omitempty"`
+	Ack       *latSummary `json:"ack,omitempty"`
 }
 
 func main() {
@@ -93,12 +107,20 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		batchMax = flag.Int("batch", 0, "client-side op coalescing: pack up to this many pending ops per OpBatch frame (0 = off)")
 		linger   = flag.Duration("batch-linger", 0, "with -batch, how long the writer waits for more pending ops before flushing a short batch")
+		lease    = flag.Bool("lease", false, "consume via PopLease/Ack (at-least-once) instead of DeleteMin; needs a lease-enabled pqd, closed loop only")
+		leaseTTL = flag.Duration("lease-ttl", 0, "per-lease TTL sent with PopLease (0 = server default)")
+		abandon  = flag.Float64("lease-abandon", 0, "fraction of granted leases never acked — simulated consumer crashes the server must redeliver")
 		out      = flag.String("out", "", "write the JSON report to this file (e.g. BENCH_server.json)")
 		traceOut = flag.String("trace-out", "", "record end-to-end traces and write the client flight dump (JSON) to this file; pair with a pqd started with -flight and feed both to cmd/pqtrace")
 		traceEvs = flag.Int("trace-events", 1<<16, "client flight-recorder ring slots per shard (with -trace-out)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the load generator itself to this file")
 	)
 	flag.Parse()
+
+	if *lease && *rate > 0 {
+		fmt.Fprintln(os.Stderr, "pqload: -lease is closed-loop only (no async lease API); drop -rate")
+		os.Exit(1)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -141,14 +163,20 @@ func main() {
 
 	var (
 		insertH, deleteH hist.H
-		ops, errs        atomic.Uint64
+		popH, ackH       hist.H
+		ops, errs, aband atomic.Uint64
 	)
 	mode := "closed"
 	start := time.Now()
-	if *rate > 0 {
+	switch {
+	case *rate > 0:
 		mode = "open"
 		runOpen(cl, *rate, *duration, *mix, *keyspace, *seed, value, &insertH, &deleteH, &ops, &errs)
-	} else {
+	case *lease:
+		mode = "lease"
+		runLeaseClosed(cl, *workers, *duration, *mix, *keyspace, *seed, value,
+			*leaseTTL, *abandon, &insertH, &popH, &ackH, &ops, &errs, &aband)
+	default:
 		runClosed(cl, *workers, *duration, *mix, *keyspace, *seed, value, &insertH, &deleteH, &ops, &errs)
 	}
 	elapsed := time.Since(start)
@@ -177,11 +205,23 @@ func main() {
 		DeleteMin: summarize(&deleteH),
 		FinalLen:  finalLen,
 	}
+	if *lease {
+		r.Lease = true
+		r.Abandon = *abandon
+		r.Abandoned = aband.Load()
+		pl, ak := summarize(&popH), summarize(&ackH)
+		r.PopLease, r.Ack = &pl, &ak
+	}
 
 	fmt.Printf("pqload: mode=%s ops=%d errors=%d elapsed=%v throughput=%.0f ops/s\n",
 		r.Mode, r.Ops, r.Errors, elapsed.Round(time.Millisecond), r.Thru)
 	fmt.Printf("  insert:    %s\n", insertH.Summary())
-	fmt.Printf("  deletemin: %s\n", deleteH.Summary())
+	if *lease {
+		fmt.Printf("  poplease:  %s\n", popH.Summary())
+		fmt.Printf("  ack:       %s (abandoned %d leases)\n", ackH.Summary(), aband.Load())
+	} else {
+		fmt.Printf("  deletemin: %s\n", deleteH.Summary())
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(r, "", "  ")
@@ -248,6 +288,71 @@ func runClosed(cl *client.Client, workers int, d time.Duration, mix float64,
 					} else {
 						deleteH.Observe(time.Since(t0))
 					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runLeaseClosed is runClosed with the consume side speaking the lease
+// protocol: a granted lease is acked immediately (two timed round trips)
+// unless the abandon draw elects it a simulated consumer crash, in which
+// case nobody acks and the server's expiry sweep must redeliver it. Ack
+// hitting ErrNoLease counts as an error: with the TTLs this generator
+// is meant for, a live consumer should never lose a race with expiry.
+func runLeaseClosed(cl *client.Client, workers int, d time.Duration, mix float64,
+	keyspace int64, seed int64, value []byte, ttl time.Duration, abandon float64,
+	insertH, popH, ackH *hist.H, ops, errs, aband *atomic.Uint64) {
+	deadline := time.Now().Add(d)
+	mixCut := uint64(mix * (1 << 32))
+	abandonCut := uint64(abandon * (1 << 32))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rngState := uint64(seed+int64(w)*1e9)*0x9e3779b97f4a7c15 + 1
+			nextRand := func() uint64 {
+				rngState ^= rngState << 13
+				rngState ^= rngState >> 7
+				rngState ^= rngState << 17
+				return rngState
+			}
+			for i := 0; ; i++ {
+				if i%16 == 0 && !time.Now().Before(deadline) {
+					return
+				}
+				t0 := time.Now()
+				if nextRand()&0xffffffff < mixCut {
+					if err := cl.Insert(int64(nextRand()%uint64(keyspace)), value); err != nil {
+						errs.Add(1)
+					} else {
+						insertH.Observe(time.Since(t0))
+					}
+					ops.Add(1)
+					continue
+				}
+				l, found, err := cl.PopLease(ttl)
+				if err != nil {
+					errs.Add(1)
+				} else {
+					popH.Observe(time.Since(t0))
+				}
+				ops.Add(1)
+				if err != nil || !found {
+					continue
+				}
+				if nextRand()&0xffffffff < abandonCut {
+					aband.Add(1) // simulated crash: the lease dies unacked
+					continue
+				}
+				t1 := time.Now()
+				if err := l.Ack(); err != nil {
+					errs.Add(1)
+				} else {
+					ackH.Observe(time.Since(t1))
 				}
 				ops.Add(1)
 			}

@@ -9,6 +9,8 @@
 //   - /healthz — "ok" with 200 while serving, "draining" with 503 once a
 //     graceful shutdown began. Load balancers key off this to stop routing
 //     before the listener actually closes.
+//   - /buildinfo — JSON build identity (module version, VCS revision,
+//     toolchain) read from the binary's embedded build metadata.
 //   - /debug/flight — JSON dump of every configured flight recorder's ring
 //     plus the last anomaly capture of each (see internal/flight).
 //   - /debug/vars — the standard expvar JSON.
@@ -67,6 +69,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), prev: map[string]obs.Snapshot{}}
 	s.mux.HandleFunc("/metrics", s.metrics)
 	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/buildinfo", s.buildinfo)
 	s.mux.HandleFunc("/debug/flight", s.flight)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

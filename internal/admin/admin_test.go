@@ -155,3 +155,22 @@ func TestServeShutdown(t *testing.T) {
 		t.Fatal("Serve did not return after Shutdown")
 	}
 }
+
+// TestBuildInfoEndpoint: /buildinfo serves the binary's build identity.
+func TestBuildInfoEndpoint(t *testing.T) {
+	s := New(Config{})
+	code, body := get(t, s.Handler(), "/buildinfo")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var bi BuildInfo
+	if err := json.Unmarshal([]byte(body), &bi); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		t.Fatalf("missing runtime identity: %+v", bi)
+	}
+	if !strings.Contains(BuildInfoText(), bi.GoVersion) {
+		t.Fatalf("BuildInfoText missing toolchain: %s", BuildInfoText())
+	}
+}

@@ -1,0 +1,105 @@
+// Build identity: pqd's -version flag and the admin /buildinfo endpoint
+// both render what the Go linker already stamped into the binary
+// (runtime/debug.ReadBuildInfo), so there is no version constant to
+// forget to bump — the module version, VCS revision, and toolchain come
+// from the build itself.
+
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildInfo is the subset of the binary's embedded build metadata the
+// admin surface exposes.
+type BuildInfo struct {
+	// Path is the main module path.
+	Path string `json:"path"`
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// OS and Arch are the build targets.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	// Revision, Time and Modified come from the VCS stamp when the build
+	// ran inside a checkout ("" / false otherwise).
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuildInfo collects the binary's build identity. ok is false when
+// the binary was built without module support; the zero fields still
+// carry the runtime's OS/arch/toolchain.
+func ReadBuildInfo() (BuildInfo, bool) {
+	bi := BuildInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi, false
+	}
+	bi.Path = info.Main.Path
+	bi.Version = info.Main.Version
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.Time = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi, true
+}
+
+// BuildInfoText renders the build identity as the -version flag's output.
+func BuildInfoText() string {
+	bi, _ := ReadBuildInfo()
+	var b strings.Builder
+	path := bi.Path
+	if path == "" {
+		path = "pqd"
+	}
+	fmt.Fprintf(&b, "%s %s\n", path, orDevel(bi.Version))
+	fmt.Fprintf(&b, "  go:   %s %s/%s\n", bi.GoVersion, bi.OS, bi.Arch)
+	if bi.Revision != "" {
+		dirty := ""
+		if bi.Modified {
+			dirty = " (modified)"
+		}
+		fmt.Fprintf(&b, "  vcs:  %s%s\n", bi.Revision, dirty)
+	}
+	if bi.Time != "" {
+		fmt.Fprintf(&b, "  time: %s\n", bi.Time)
+	}
+	return b.String()
+}
+
+func orDevel(v string) string {
+	if v == "" {
+		return "(devel)"
+	}
+	return v
+}
+
+// buildinfo serves the identity as JSON.
+func (s *Server) buildinfo(w http.ResponseWriter, r *http.Request) {
+	bi, _ := ReadBuildInfo()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(bi)
+}

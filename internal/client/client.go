@@ -186,12 +186,15 @@ func (cl *Client) getConn() (*conn, error) {
 }
 
 // Result is one completed call's payload: Priority/Value/Found for
-// element-returning ops, Len for OpLen. Value is an owned copy.
+// element-returning ops, Len for OpLen, LeaseID/DeadlineNano for the
+// lease protocol. Value is an owned copy.
 type Result struct {
-	Priority int64
-	Value    []byte
-	Found    bool
-	Len      int
+	Priority     int64
+	Value        []byte
+	Found        bool
+	Len          int
+	LeaseID      uint64
+	DeadlineNano int64
 }
 
 // Pending is an in-flight pipelined call; see the *Async methods.
@@ -292,7 +295,8 @@ func retryable(op wire.Kind, err error) bool {
 	case errors.Is(err, ErrBusy):
 		return true
 	case errors.Is(err, ErrConn):
-		return op == wire.OpPing || op == wire.OpPeek || op == wire.OpLen
+		// OpExtend is repeat-safe: extending twice only moves the deadline.
+		return op == wire.OpPing || op == wire.OpPeek || op == wire.OpLen || op == wire.OpExtend
 	}
 	return false
 }
@@ -737,8 +741,24 @@ func decodeResponse(op wire.Kind, f wire.Frame) (Result, error) {
 			res.Value = append([]byte(nil), f.Data...) // Data aliases the read buffer
 		case wire.OpLen:
 			res.Len = int(f.Arg)
+		case wire.OpExtend:
+			res.DeadlineNano = f.Arg
 		}
 		return res, nil
+	case wire.StatusLeased:
+		id, deadline, value, err := wire.ParseLeaseGrant(f.Data)
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrConn, err)
+		}
+		return Result{
+			Priority:     f.Arg,
+			Value:        append([]byte(nil), value...), // aliases the read buffer
+			Found:        true,
+			LeaseID:      id,
+			DeadlineNano: deadline,
+		}, nil
+	case wire.StatusNoLease:
+		return Result{}, ErrNoLease
 	case wire.StatusEmpty:
 		return Result{}, nil
 	case wire.StatusBusy:

@@ -1,0 +1,194 @@
+// Client side of the at-least-once lease protocol: PopLease claims an
+// element under a deadline, Ack retires it, Nack returns it early, and
+// Extend (or the AutoExtend heartbeat) pushes the deadline out while the
+// consumer is still working. See docs/SERVER.md for the state machine.
+
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"skipqueue/internal/wire"
+)
+
+// ErrNoLease is returned by Ack, Nack, and Extend when the server no
+// longer knows the lease: it expired (the element has been redelivered
+// or dead-lettered) or never existed. For Ack this is the at-least-once
+// signal that another consumer may process the element again.
+var ErrNoLease = errors.New("client: lease expired or unknown")
+
+// Lease is one claimed element. The zero value is not a lease; obtain
+// one from PopLease or PopLeaseDead. Ack or Nack it before Deadline, or
+// keep it alive with AutoExtend. Methods are safe for concurrent use.
+type Lease struct {
+	cl *Client
+
+	// ID is the server-issued lease identity; non-zero.
+	ID uint64
+	// Priority is the element's priority.
+	Priority int64
+	// Value is the element's payload (an owned copy).
+	Value []byte
+
+	mu       sync.Mutex
+	deadline time.Time
+	stopHB   chan struct{} // non-nil while an AutoExtend heartbeat runs
+	settled  bool          // acked or nacked; heartbeats must stop
+}
+
+// Deadline returns the current lease deadline (it advances under Extend
+// and AutoExtend).
+func (l *Lease) Deadline() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deadline
+}
+
+// popLease claims the minimum ready element from the selected queue.
+func (cl *Client) popLease(ttl time.Duration, selector string) (*Lease, bool, error) {
+	var data []byte
+	if selector != "" {
+		data = []byte(selector)
+	}
+	res, err := cl.do(wire.OpPopLease, int64(ttl/time.Millisecond), data)
+	if err != nil || !res.Found {
+		return nil, false, err
+	}
+	return &Lease{
+		cl:       cl,
+		ID:       res.LeaseID,
+		Priority: res.Priority,
+		Value:    res.Value,
+		deadline: time.Unix(0, res.DeadlineNano),
+	}, true, nil
+}
+
+// PopLease claims the minimum ready element: it is removed from the
+// queue but not retired, and must be acked before the lease deadline or
+// the server redelivers it. ttl <= 0 selects the server's default TTL.
+// found is false on an empty queue.
+func (cl *Client) PopLease(ttl time.Duration) (lease *Lease, found bool, err error) {
+	return cl.popLease(ttl, "")
+}
+
+// PopLeaseDead claims the oldest dead-lettered element — the drain path
+// for elements that exceeded the server's delivery budget. The lease
+// protocol is identical; a nacked or expired dead-letter lease returns
+// to the dead-letter queue, not the main one.
+func (cl *Client) PopLeaseDead(ttl time.Duration) (lease *Lease, found bool, err error) {
+	return cl.popLease(ttl, wire.SelectorDead)
+}
+
+// InsertDelay adds value at priority, invisible to pops until delay has
+// elapsed. Requires a lease-enabled server.
+func (cl *Client) InsertDelay(priority int64, delay time.Duration, value []byte) error {
+	if delay < 0 {
+		delay = 0
+	}
+	_, err := cl.do(wire.OpInsertDelay, priority, wire.AppendDelayValue(nil, uint64(delay/time.Millisecond), value))
+	return err
+}
+
+// Ack retires the leased element for good. ErrNoLease means the lease
+// had already expired — the element may be delivered again elsewhere.
+func (l *Lease) Ack() error {
+	l.settle()
+	_, err := l.cl.do(wire.OpAck, int64(l.ID), nil)
+	return err
+}
+
+// Nack returns the element to the queue immediately (redelivery without
+// waiting out the TTL). The delivery count still advances.
+func (l *Lease) Nack() error {
+	l.settle()
+	_, err := l.cl.do(wire.OpNack, int64(l.ID), nil)
+	return err
+}
+
+// Extend pushes the lease deadline to now+ttl (ttl <= 0 selects the
+// server's default) and returns the new deadline.
+func (l *Lease) Extend(ttl time.Duration) (time.Time, error) {
+	var data []byte
+	if ttl > 0 {
+		data = wire.AppendDelayValue(nil, uint64(ttl/time.Millisecond), nil)
+	}
+	res, err := l.cl.do(wire.OpExtend, int64(l.ID), data)
+	if err != nil {
+		return time.Time{}, err
+	}
+	deadline := time.Unix(0, res.DeadlineNano)
+	l.mu.Lock()
+	if !l.settled {
+		l.deadline = deadline
+	}
+	l.mu.Unlock()
+	return deadline, nil
+}
+
+// AutoExtend keeps the lease alive in the background: a heartbeat
+// goroutine renews it when two-thirds of the window to the deadline has
+// elapsed, until Ack, Nack, the returned stop function, or a failed
+// renewal (e.g. ErrNoLease after a server-side expiry) ends it. Calling
+// AutoExtend again while a heartbeat runs is a no-op.
+func (l *Lease) AutoExtend(ttl time.Duration) (stop func()) {
+	l.mu.Lock()
+	if l.settled || l.stopHB != nil {
+		ch := l.stopHB
+		l.mu.Unlock()
+		return func() { l.stopHeartbeat(ch) }
+	}
+	ch := make(chan struct{})
+	l.stopHB = ch
+	deadline := l.deadline
+	l.mu.Unlock()
+
+	go func() {
+		for {
+			wait := 2 * time.Until(deadline) / 3
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			select {
+			case <-ch:
+				return
+			case <-time.After(wait):
+			}
+			var err error
+			deadline, err = l.Extend(ttl)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return func() { l.stopHeartbeat(ch) }
+}
+
+// settle marks the lease finished and stops any heartbeat.
+func (l *Lease) settle() {
+	l.mu.Lock()
+	l.settled = true
+	ch := l.stopHB
+	l.stopHB = nil
+	l.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// stopHeartbeat closes ch if it is still this lease's active heartbeat.
+func (l *Lease) stopHeartbeat(ch chan struct{}) {
+	if ch == nil {
+		return
+	}
+	l.mu.Lock()
+	active := l.stopHB == ch
+	if active {
+		l.stopHB = nil
+	}
+	l.mu.Unlock()
+	if active {
+		close(ch)
+	}
+}

@@ -121,29 +121,51 @@ const (
 	// commit, when durable) finished. Arg is the run duration in
 	// nanoseconds.
 	KBatchApply
+	// KLeaseExpire: a lease deadline passed without an Ack and the element
+	// was requeued for redelivery (internal/lease). Arg is the element's
+	// delivery count after the bump.
+	KLeaseExpire
+	// KRedeliveryStorm: one expiry sweep requeued a suspicious number of
+	// leases at once — the signature of a crashed consumer fleet or a TTL
+	// set below the real work time. Arg is the number of leases that
+	// expired in the sweep.
+	KRedeliveryStorm
+	// KLeaseAckRace: an Ack (or Nack/Extend) arrived for a lease that had
+	// *just* expired and been requeued — the consumer finished its work
+	// but lost the race with the deadline, so the item will be delivered
+	// again. Arg is how long after the deadline the ack landed, in
+	// nanoseconds.
+	KLeaseAckRace
+	// KDeadLetter: an element exhausted its delivery budget and was
+	// diverted to the dead-letter queue. Arg is its delivery count.
+	KDeadLetter
 )
 
 // kindNames indexes Kind.String; keep in sync with the constants above.
 var kindNames = [...]string{
-	KNone:          "none",
-	KLockRetry:     "lock.retry",
-	KCASRetry:      "cas.retry",
-	KSweepFallback: "sweep.fallback",
-	KElimExchange:  "elim.exchange",
-	KServerRead:    "server.read",
-	KServerApply:   "server.apply",
-	KServerFlush:   "server.flush",
-	KServerBatch:   "server.batch",
-	KClientSend:    "client.send",
-	KClientRecv:    "client.recv",
-	KSLOBreach:     "anomaly.slo_breach",
-	KBusyReject:    "anomaly.busy_reject",
-	KDrainStart:    "anomaly.drain_start",
-	KFsyncStall:    "anomaly.fsync_stall",
-	KTornTail:      "anomaly.torn_tail",
-	KSprayFallback: "spray.fallback",
-	KBatchAssemble: "batch.assemble",
-	KBatchApply:    "batch.apply",
+	KNone:            "none",
+	KLockRetry:       "lock.retry",
+	KCASRetry:        "cas.retry",
+	KSweepFallback:   "sweep.fallback",
+	KElimExchange:    "elim.exchange",
+	KServerRead:      "server.read",
+	KServerApply:     "server.apply",
+	KServerFlush:     "server.flush",
+	KServerBatch:     "server.batch",
+	KClientSend:      "client.send",
+	KClientRecv:      "client.recv",
+	KSLOBreach:       "anomaly.slo_breach",
+	KBusyReject:      "anomaly.busy_reject",
+	KDrainStart:      "anomaly.drain_start",
+	KFsyncStall:      "anomaly.fsync_stall",
+	KTornTail:        "anomaly.torn_tail",
+	KSprayFallback:   "spray.fallback",
+	KBatchAssemble:   "batch.assemble",
+	KBatchApply:      "batch.apply",
+	KLeaseExpire:     "lease.expire",
+	KRedeliveryStorm: "anomaly.redelivery_storm",
+	KLeaseAckRace:    "anomaly.lease_ack_race",
+	KDeadLetter:      "anomaly.dead_letter",
 }
 
 // String names the kind for dumps and tables.

@@ -1,0 +1,84 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+)
+
+func alo(k DKind, id uint64, key, stamp int64) DeliveryEvent {
+	return DeliveryEvent{Kind: k, ID: id, Key: key, Stamp: stamp}
+}
+
+func TestAtLeastOnceCleanHistory(t *testing.T) {
+	// Element 1 delivered twice (expiry redelivery) then acked; element 2
+	// delivered and acked; element 3 never delivered, remains.
+	events := []DeliveryEvent{
+		alo(DInsert, 1, 10, 1),
+		alo(DInsert, 2, 20, 2),
+		alo(DInsert, 3, 30, 3),
+		alo(DDeliver, 1, 10, 4),
+		alo(DDeliver, 2, 20, 5),
+		alo(DAck, 2, 20, 6),
+		alo(DDeliver, 1, 10, 7), // redelivery
+		alo(DAck, 1, 10, 8),
+	}
+	rep, err := AnalyzeAtLeastOnce(events, []Element{{Key: 30, ID: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserts != 3 || rep.Deliveries != 3 || rep.Acked != 2 ||
+		rep.Redeliveries != 1 || rep.MaxDeliveries != 2 || rep.Remaining != 1 || rep.Lost != 0 {
+		t.Fatalf("report = %v", rep)
+	}
+}
+
+func TestAtLeastOnceViolations(t *testing.T) {
+	cases := []struct {
+		name      string
+		events    []DeliveryEvent
+		remaining []Element
+		want      string
+	}{
+		{"phantom delivery",
+			[]DeliveryEvent{alo(DDeliver, 9, 1, 1)}, nil, "phantom delivery"},
+		{"phantom ack",
+			[]DeliveryEvent{alo(DAck, 9, 1, 1)}, nil, "phantom ack"},
+		{"ack without delivery",
+			[]DeliveryEvent{alo(DInsert, 1, 1, 1), alo(DAck, 1, 1, 2)}, nil, "without a delivery"},
+		{"double ack",
+			[]DeliveryEvent{alo(DInsert, 1, 1, 1), alo(DDeliver, 1, 1, 2),
+				alo(DAck, 1, 1, 3), alo(DAck, 1, 1, 4)}, nil, "acked twice"},
+		{"delivery after ack",
+			[]DeliveryEvent{alo(DInsert, 1, 1, 1), alo(DDeliver, 1, 1, 2),
+				alo(DAck, 1, 1, 3), alo(DDeliver, 1, 1, 4)}, nil, "after its ack"},
+		{"lost element",
+			[]DeliveryEvent{alo(DInsert, 1, 1, 1), alo(DDeliver, 1, 1, 2)}, nil, "neither remain"},
+		{"acked element resurrected",
+			[]DeliveryEvent{alo(DInsert, 1, 1, 1), alo(DDeliver, 1, 1, 2), alo(DAck, 1, 1, 3)},
+			[]Element{{Key: 1, ID: 1}}, "resurrected"},
+		{"key mismatch",
+			[]DeliveryEvent{alo(DInsert, 1, 1, 1), alo(DDeliver, 1, 2, 2)}, nil, "delivered with key"},
+	}
+	for _, tc := range cases {
+		_, err := AnalyzeAtLeastOnce(tc.events, tc.remaining)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAtLeastOnceCrashAllowance(t *testing.T) {
+	// One unacked element vanished: with the consumer-crash allowance the
+	// history passes and the loss is reported; without it, it fails.
+	events := []DeliveryEvent{
+		alo(DInsert, 1, 1, 1),
+		alo(DDeliver, 1, 1, 2),
+	}
+	rep, err := AnalyzeAtLeastOnceCrash(events, nil, 1)
+	if err != nil || rep.Lost != 1 {
+		t.Fatalf("crash allowance: rep=%v err=%v", rep, err)
+	}
+	if _, err := AnalyzeAtLeastOnceCrash(events, nil, 0); err == nil {
+		t.Fatal("zero allowance accepted a lost element")
+	}
+}

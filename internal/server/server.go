@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"skipqueue/internal/flight"
+	"skipqueue/internal/lease"
 	"skipqueue/internal/obs"
 	"skipqueue/internal/wire"
 )
@@ -127,6 +128,13 @@ type Config struct {
 	// trading per-op latency for combining width. Zero lingers not at all:
 	// a run combines only what is already queued.
 	BatchLinger time.Duration
+	// Lease, if non-nil, enables the at-least-once opcodes (PopLease, Ack,
+	// Nack, Extend, InsertDelay) against this table. Configure Backend as
+	// the same table so plain and leased opcodes see one queue. Shutdown
+	// nacks every outstanding lease back before the final WAL sync, so a
+	// drained server redelivers in-flight work on restart instead of
+	// leaking it. Without it lease opcodes are answered StatusErr.
+	Lease *lease.Table
 }
 
 // probes are the server's observability hooks, nil without Config.Metrics.
@@ -139,6 +147,11 @@ type probes struct {
 	peek      *obs.Counter
 	length    *obs.Counter
 	ping      *obs.Counter
+	popLease  *obs.Counter
+	ack       *obs.Counter
+	nack      *obs.Counter
+	extend    *obs.Counter
+	insDelay  *obs.Counter
 	bad       *obs.Counter // malformed or non-request frames
 
 	accepted *obs.Counter // connections admitted
@@ -148,6 +161,7 @@ type probes struct {
 
 	shutdownReplies *obs.Counter // frames answered SHUTDOWN during drain
 	drainNs         *obs.Counter // total Shutdown drain time, ns
+	drainNacked     *obs.Counter // leases nacked back by the drain path
 
 	batch    *obs.Hist // frames per response flush
 	applyLat *obs.Hist // backend apply latency per frame
@@ -166,6 +180,11 @@ func newProbes(enabled bool) probes {
 		peek:            set.Counter("frames.peek"),
 		length:          set.Counter("frames.len"),
 		ping:            set.Counter("frames.ping"),
+		popLease:        set.Counter("frames.poplease"),
+		ack:             set.Counter("frames.ack"),
+		nack:            set.Counter("frames.nack"),
+		extend:          set.Counter("frames.extend"),
+		insDelay:        set.Counter("frames.insertdelay"),
 		bad:             set.Counter("frames.bad"),
 		accepted:        set.Counter("conns.accepted"),
 		closed:          set.Counter("conns.closed"),
@@ -173,6 +192,7 @@ func newProbes(enabled bool) probes {
 		stalls:          set.Counter("backpressure.inflight_stalls"),
 		shutdownReplies: set.Counter("drain.shutdown_replies"),
 		drainNs:         set.Counter("drain.ns"),
+		drainNacked:     set.Counter("drain.leases_nacked"),
 		batch:           set.Values("batch.frames"),
 		applyLat:        set.Durations("frame.apply"),
 	}
@@ -534,9 +554,69 @@ func (s *Server) applyOp(k wire.Kind, arg int64, data []byte) (st wire.Kind, rar
 	case wire.OpPing:
 		s.obs.ping.Inc()
 		return wire.StatusOK, 0, nil, false
+	case wire.OpPopLease, wire.OpAck, wire.OpNack, wire.OpExtend, wire.OpInsertDelay:
+		return s.applyLeaseOp(k, arg, data)
 	default:
 		s.obs.bad.Inc()
 		return wire.StatusErr, 0, []byte("not a request: " + k.String()), false
+	}
+}
+
+// applyLeaseOp executes one at-least-once-protocol operation. The lease
+// table is required; without one the opcodes are a configuration error,
+// not a queue condition, so they answer StatusErr rather than NOLEASE.
+func (s *Server) applyLeaseOp(k wire.Kind, arg int64, data []byte) (st wire.Kind, rarg int64, rdata []byte, mutated bool) {
+	lt := s.cfg.Lease
+	if lt == nil {
+		s.obs.bad.Inc()
+		return wire.StatusErr, 0, []byte("lease protocol not enabled"), false
+	}
+	switch k {
+	case wire.OpPopLease:
+		s.obs.popLease.Inc()
+		dead := string(data) == wire.SelectorDead
+		id, prio, deadline, value, ok := lt.PopLease(time.Duration(arg)*time.Millisecond, dead)
+		if !ok {
+			return wire.StatusEmpty, 0, nil, false
+		}
+		// A grant is a durable state change (the element left the queue
+		// but stays lease-live in the WAL index).
+		return wire.StatusLeased, prio, wire.AppendLeaseGrant(nil, id, deadline.UnixNano(), value), true
+	case wire.OpAck:
+		s.obs.ack.Inc()
+		if lt.Ack(uint64(arg)) {
+			return wire.StatusOK, 0, nil, true
+		}
+		return wire.StatusNoLease, 0, nil, false
+	case wire.OpNack:
+		s.obs.nack.Inc()
+		if lt.Nack(uint64(arg)) {
+			return wire.StatusOK, 0, nil, true
+		}
+		return wire.StatusNoLease, 0, nil, false
+	case wire.OpExtend:
+		s.obs.extend.Inc()
+		ttl := time.Duration(0)
+		if len(data) >= 8 {
+			if ms, _, err := wire.ParseDelayValue(data); err == nil {
+				ttl = time.Duration(ms) * time.Millisecond
+			}
+		}
+		// Deliberately not durable: an extension lost to a crash only
+		// expires a lease early, which at-least-once already tolerates.
+		if deadline, ok := lt.Extend(uint64(arg), ttl); ok {
+			return wire.StatusOK, deadline.UnixNano(), nil, false
+		}
+		return wire.StatusNoLease, 0, nil, false
+	default: // wire.OpInsertDelay
+		s.obs.insDelay.Inc()
+		delayMillis, value, err := wire.ParseDelayValue(data)
+		if err != nil {
+			s.obs.bad.Inc()
+			return wire.StatusErr, 0, []byte("insert-delay: " + err.Error()), false
+		}
+		lt.PushDelayed(arg, time.Duration(delayMillis)*time.Millisecond, value)
+		return wire.StatusOK, 0, nil, true
 	}
 }
 
@@ -579,6 +659,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	err := s.waitConns(ctx)
+	// Handlers have quiesced: no new grants can race the release. Nack
+	// every outstanding lease back into the queue so the final sync below
+	// covers the requeues and a restart redelivers in-flight work
+	// immediately instead of waiting out dead consumers' TTLs.
+	if s.cfg.Lease != nil {
+		if n := s.cfg.Lease.NackAll(); n > 0 {
+			s.obs.drainNacked.Add(uint64(n))
+		}
+	}
 	// Final barrier: every handler has returned, so every append has
 	// happened; one Sync makes the whole drained state durable even in
 	// async WAL mode (where per-batch Commits never waited).

@@ -79,7 +79,9 @@ func (t *task) reset() {
 func (t *task) addFrame(f wire.Frame, maxOps int) {
 	op := frameOp{kind: f.Kind, arg: f.Arg, trace: f.Trace}
 	switch f.Kind {
-	case wire.OpInsert:
+	case wire.OpInsert, wire.OpPopLease, wire.OpExtend, wire.OpInsertDelay:
+		// Data-carrying requests: the insert value, the pop-lease queue
+		// selector, the extend TTL, the delay header + value.
 		op.data = append([]byte(nil), f.Data...)
 		t.nops++
 	case wire.OpBatch:

@@ -1,0 +1,220 @@
+// Package timerwheel implements a hierarchical timing wheel in the style
+// of Varghese & Lauck: a small fixed hierarchy of circular slot arrays
+// where level 0 resolves single ticks and each higher level covers a
+// span 64× coarser than the one below. Scheduling and cancelling a
+// timer are O(1); advancing the wheel does O(1) amortized work per tick
+// plus O(1) per fired timer, with expired timers cascading down from
+// coarse levels into finer ones as their deadline approaches.
+//
+// The wheel is a pure data structure over an abstract monotonic tick
+// counter: it never reads the clock. Callers map real time onto ticks
+// (e.g. one tick = 10ms) and call Advance with the current tick. The
+// tick path is allocation-free: timers live on intrusive doubly-linked
+// lists and freed timers are recycled through a free list, so a steady
+// schedule/fire workload reaches zero allocations after warm-up.
+//
+// The wheel is not safe for concurrent use; callers provide their own
+// synchronization (internal/lease drives one under its table mutex).
+package timerwheel
+
+const (
+	wheelBits = 6
+	wheelSize = 1 << wheelBits // 64 slots per level
+	wheelMask = wheelSize - 1
+	levels    = 4 // horizon = 64^4 = ~16.7M ticks
+)
+
+// horizon is the largest deadline offset the hierarchy resolves
+// natively. Deadlines beyond now+horizon are parked in the top level
+// and re-cascaded until they come into range, so arbitrarily far
+// deadlines are legal, just coarser.
+const horizon = 1 << (wheelBits * levels)
+
+// timer is one scheduled entry. Timers are owned by the wheel and
+// recycled through a free list; user code holds only Handles.
+type timer struct {
+	next, prev *timer
+	deadline   int64
+	payload    uint64
+	gen        uint64 // bumped on every free; guards stale Handles
+	inWheel    bool
+}
+
+// Handle identifies a scheduled timer for Cancel. The generation field
+// makes handles single-use: after the timer fires or is cancelled, the
+// slot may be recycled for an unrelated timer, and a stale Handle's
+// Cancel reports false instead of cancelling the new tenant.
+type Handle struct {
+	t   *timer
+	gen uint64
+}
+
+// Wheel is a hierarchical timing wheel. The zero value is not usable;
+// call New.
+type Wheel struct {
+	slots [levels][wheelSize]timer // sentinel heads of intrusive rings
+	now   int64                    // current tick; deadlines <= now have fired
+	free  *timer                   // recycled timer nodes (singly linked via next)
+	live  int
+}
+
+// New returns an empty wheel positioned at tick `start`.
+func New(start int64) *Wheel {
+	w := &Wheel{now: start}
+	for l := 0; l < levels; l++ {
+		for s := 0; s < wheelSize; s++ {
+			h := &w.slots[l][s]
+			h.next, h.prev = h, h
+		}
+	}
+	return w
+}
+
+// Now returns the wheel's current tick.
+func (w *Wheel) Now() int64 { return w.now }
+
+// Len returns the number of scheduled (unfired, uncancelled) timers.
+func (w *Wheel) Len() int { return w.live }
+
+// Schedule registers payload to fire once the wheel advances to or past
+// deadline. A deadline at or before the current tick fires on the next
+// Advance call (even Advance(w.Now())). O(1).
+func (w *Wheel) Schedule(deadline int64, payload uint64) Handle {
+	t := w.alloc()
+	t.deadline = deadline
+	t.payload = payload
+	w.place(t)
+	w.live++
+	return Handle{t: t, gen: t.gen}
+}
+
+// Cancel removes a scheduled timer. It returns true if the handle
+// still referred to a live timer, false if the timer already fired,
+// was already cancelled, or the handle is stale.
+func (w *Wheel) Cancel(h Handle) bool {
+	if h.t == nil || h.t.gen != h.gen || !h.t.inWheel {
+		return false
+	}
+	unlink(h.t)
+	w.live--
+	w.release(h.t)
+	return true
+}
+
+// Advance moves the wheel forward to tick `to`, invoking fire for every
+// timer whose deadline is <= to, in nondecreasing tick order (timers in
+// the same tick fire in insertion order; cascaded coarse timers fire in
+// deadline order only up to tick granularity, which is exact by the
+// time they reach level 0). fire may call Schedule and Cancel
+// re-entrantly; timers it schedules at ticks <= to fire within the same
+// Advance call. Advancing to a tick <= Now still expires anything
+// scheduled at or before Now.
+func (w *Wheel) Advance(to int64, fire func(payload uint64, deadline int64)) {
+	// Timers scheduled in the past sit in the current level-0 slot;
+	// expire them even when `to` does not move the clock.
+	w.expireSlot(0, int(w.now>>0)&wheelMask, fire)
+	for w.now < to {
+		w.now++
+		idx := int(w.now) & wheelMask
+		if idx == 0 {
+			w.cascade(fire)
+		}
+		w.expireSlot(0, idx, fire)
+	}
+}
+
+// cascade is called when level 0 wraps: slot `now>>bits & mask` of each
+// higher level whose lower neighbours also wrapped is drained and its
+// timers re-placed, dropping them into finer levels (or firing them via
+// place→expire on the current slot when their tick has come).
+func (w *Wheel) cascade(fire func(uint64, int64)) {
+	for l := 1; l < levels; l++ {
+		idx := int(w.now>>(wheelBits*l)) & wheelMask
+		w.replaceSlot(l, idx)
+		if idx != 0 {
+			break // this level didn't wrap, higher levels untouched
+		}
+	}
+}
+
+// replaceSlot unlinks every timer in slots[l][s] and re-places it
+// according to its (now closer) deadline.
+func (w *Wheel) replaceSlot(l, s int) {
+	head := &w.slots[l][s]
+	for t := head.next; t != head; {
+		n := t.next
+		unlink(t)
+		w.place(t)
+		t = n
+	}
+}
+
+// expireSlot fires and releases every timer in slots[l][s] whose
+// deadline has passed. Because place() puts a timer in level 0 only
+// when it is due within the current 64-tick window, every timer found
+// in the current level-0 slot is due.
+func (w *Wheel) expireSlot(l, s int, fire func(uint64, int64)) {
+	head := &w.slots[l][s]
+	for head.next != head {
+		t := head.next
+		unlink(t)
+		w.live--
+		payload, deadline := t.payload, t.deadline
+		w.release(t)
+		fire(payload, deadline)
+	}
+}
+
+// place links t into the level/slot matching its deadline relative to
+// the current tick. Past-due timers go into the *current* level-0 slot
+// so the next Advance fires them.
+func (w *Wheel) place(t *timer) {
+	delta := t.deadline - w.now
+	switch {
+	case delta < 1:
+		linkBefore(t, &w.slots[0][int(w.now)&wheelMask])
+	case delta < horizon:
+		for l := 0; l < levels; l++ {
+			if delta < 1<<(wheelBits*(l+1)) {
+				linkBefore(t, &w.slots[l][int(t.deadline>>(wheelBits*l))&wheelMask])
+				return
+			}
+		}
+	default:
+		// Beyond the horizon: park one slot "behind" the current top-level
+		// position; it re-cascades each full top-level revolution.
+		linkBefore(t, &w.slots[levels-1][(int(w.now>>(wheelBits*(levels-1)))+wheelMask)&wheelMask])
+	}
+}
+
+func (w *Wheel) alloc() *timer {
+	if t := w.free; t != nil {
+		w.free = t.next
+		t.next = nil
+		return t
+	}
+	return &timer{}
+}
+
+func (w *Wheel) release(t *timer) {
+	t.gen++
+	t.inWheel = false
+	t.prev = nil
+	t.next = w.free
+	w.free = t
+}
+
+func linkBefore(t, head *timer) {
+	t.inWheel = true
+	t.prev = head.prev
+	t.next = head
+	head.prev.next = t
+	head.prev = t
+}
+
+func unlink(t *timer) {
+	t.prev.next = t.next
+	t.next.prev = t.prev
+	t.next, t.prev = nil, nil
+	t.inWheel = false
+}

@@ -1,0 +1,382 @@
+package timerwheel
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collect(fired *[]uint64) func(uint64, int64) {
+	return func(p uint64, _ int64) { *fired = append(*fired, p) }
+}
+
+func TestFireBasic(t *testing.T) {
+	w := New(0)
+	w.Schedule(5, 1)
+	w.Schedule(3, 2)
+	w.Schedule(5, 3)
+
+	var fired []uint64
+	w.Advance(2, collect(&fired))
+	if len(fired) != 0 {
+		t.Fatalf("fired early: %v", fired)
+	}
+	w.Advance(4, collect(&fired))
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("at tick 4 want [2], got %v", fired)
+	}
+	w.Advance(10, collect(&fired))
+	if len(fired) != 3 || fired[1] != 1 || fired[2] != 3 {
+		t.Fatalf("same-tick timers must fire in insertion order, got %v", fired)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len=%d after all fired", w.Len())
+	}
+}
+
+func TestPastDeadlineFiresOnNextAdvance(t *testing.T) {
+	w := New(100)
+	w.Schedule(7, 42) // long past
+	w.Schedule(100, 43)
+	var fired []uint64
+	w.Advance(100, collect(&fired)) // no clock movement
+	if len(fired) != 2 {
+		t.Fatalf("past-due timers should fire on Advance(now), got %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New(0)
+	h1 := w.Schedule(10, 1)
+	h2 := w.Schedule(500, 2) // level 1
+	if !w.Cancel(h1) || !w.Cancel(h2) {
+		t.Fatal("cancel of live timers must succeed")
+	}
+	if w.Cancel(h1) {
+		t.Fatal("double cancel must fail")
+	}
+	var fired []uint64
+	w.Advance(1000, collect(&fired))
+	if len(fired) != 0 {
+		t.Fatalf("cancelled timers fired: %v", fired)
+	}
+
+	h3 := w.Schedule(1001, 3)
+	w.Advance(1001, collect(&fired))
+	if len(fired) != 1 {
+		t.Fatalf("want fire, got %v", fired)
+	}
+	if w.Cancel(h3) {
+		t.Fatal("cancel after fire must fail")
+	}
+}
+
+// A stale handle whose timer node was recycled for a new timer must not
+// cancel the new tenant.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	w := New(0)
+	h1 := w.Schedule(1, 1)
+	var fired []uint64
+	w.Advance(1, collect(&fired)) // frees the node onto the freelist
+	h2 := w.Schedule(2, 2)        // recycles it
+	if h1.t != h2.t {
+		t.Skip("freelist did not recycle the node; generation guard untestable here")
+	}
+	if w.Cancel(h1) {
+		t.Fatal("stale handle cancelled the recycled timer")
+	}
+	if !w.Cancel(h2) {
+		t.Fatal("fresh handle must still cancel")
+	}
+}
+
+// Deadlines beyond the wheel horizon park in the top level and still
+// fire at the right tick after repeated cascades.
+func TestBeyondHorizon(t *testing.T) {
+	w := New(0)
+	deadline := int64(horizon + horizon/2)
+	w.Schedule(deadline, 9)
+	var fired []uint64
+	// Jump in big steps to keep the test fast while still exercising
+	// every cascade boundary (Advance walks tick by tick internally).
+	w.Advance(deadline-1, collect(&fired))
+	if len(fired) != 0 {
+		t.Fatal("fired before its beyond-horizon deadline")
+	}
+	w.Advance(deadline, collect(&fired))
+	if len(fired) != 1 || fired[0] != 9 {
+		t.Fatalf("want [9] at %d, got %v", deadline, fired)
+	}
+}
+
+func TestCascadeBoundaries(t *testing.T) {
+	// Deadlines straddling each level boundary, from a non-aligned start.
+	starts := []int64{0, 1, 63, 64, 4095, 4096, 262143}
+	offsets := []int64{1, 63, 64, 65, 4095, 4096, 4097, 262143, 262144, 262145}
+	for _, start := range starts {
+		w := New(start)
+		type exp struct {
+			deadline int64
+			payload  uint64
+		}
+		var want []exp
+		for i, off := range offsets {
+			d := start + off
+			w.Schedule(d, uint64(i))
+			want = append(want, exp{d, uint64(i)})
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].deadline < want[j].deadline })
+		var got []exp
+		prev := start
+		w.Advance(start+262200, func(p uint64, d int64) {
+			got = append(got, exp{d, p})
+			if d > w.Now() {
+				t.Fatalf("start=%d: payload %d fired at tick %d before deadline %d", start, p, w.Now(), d)
+			}
+			if d < prev {
+				t.Fatalf("start=%d: out-of-order fire %d after %d", start, d, prev)
+			}
+			prev = d
+		})
+		if len(got) != len(want) {
+			t.Fatalf("start=%d: fired %d of %d", start, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("start=%d: fire %d = %+v, want %+v", start, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRescheduleFromFire(t *testing.T) {
+	w := New(0)
+	var fired []int64
+	w.Schedule(1, 0)
+	w.Advance(5, func(p uint64, d int64) {
+		fired = append(fired, d)
+		if d < 4 {
+			w.Schedule(d+1, p) // chain: 1,2,3,4 all within this Advance
+		}
+	})
+	if len(fired) != 4 {
+		t.Fatalf("chained reschedules should fire within one Advance, got %v", fired)
+	}
+}
+
+// --- reference model ----------------------------------------------------
+
+type refTimer struct {
+	deadline int64
+	seq      int // insertion order, for same-tick FIFO
+	payload  uint64
+	dead     bool // cancelled
+}
+
+type refHeap []*refTimer
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refTimer)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// TestPropertyVsHeap drives the wheel and a container/heap reference
+// through randomized schedule/cancel/advance schedules (including
+// cross-level cascade boundaries) and demands identical fire sequences.
+func TestPropertyVsHeap(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		start := []int64{0, 1, 63, 4095, 1 << 17, (1 << 18) - 3}[seed%6]
+		w := New(start)
+		ref := &refHeap{}
+		heap.Init(ref)
+		handles := make(map[int]Handle) // seq -> handle, live only
+		refBySeq := make(map[int]*refTimer)
+		seq := 0
+		now := start
+
+		type fireRec struct {
+			deadline int64
+			payload  uint64
+		}
+		popDue := func(to int64) []fireRec {
+			var out []fireRec
+			for ref.Len() > 0 && (*ref)[0].deadline <= to {
+				rt := heap.Pop(ref).(*refTimer)
+				if rt.dead {
+					continue
+				}
+				delete(refBySeq, rt.seq)
+				out = append(out, fireRec{rt.deadline, rt.payload})
+			}
+			return out
+		}
+		// The wheel fires in nondecreasing deadline order, but same-tick
+		// timers that travelled through different levels may interleave
+		// arbitrarily, so compare sorted (deadline, payload) records.
+		sortRecs := func(rs []fireRec) {
+			sort.Slice(rs, func(i, j int) bool {
+				if rs[i].deadline != rs[j].deadline {
+					return rs[i].deadline < rs[j].deadline
+				}
+				return rs[i].payload < rs[j].payload
+			})
+		}
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // schedule
+				var delta int64
+				switch rng.Intn(4) {
+				case 0:
+					delta = rng.Int63n(70) - 3 // near, incl. past-due
+				case 1:
+					delta = 60 + rng.Int63n(10) // level-0/1 boundary
+				case 2:
+					delta = 4090 + rng.Int63n(12) // level-1/2 boundary
+				default:
+					delta = rng.Int63n(1 << 19) // anywhere, incl. level 3
+				}
+				d := now + delta
+				if d <= now {
+					d = now // past-due fires at deadline<=now; model as now
+				}
+				h := w.Schedule(d, uint64(seq))
+				rt := &refTimer{deadline: d, seq: seq, payload: uint64(seq)}
+				heap.Push(ref, rt)
+				handles[seq] = h
+				refBySeq[seq] = rt
+				seq++
+			case op < 7: // cancel a random live timer
+				for s, h := range handles { // first map key: effectively random
+					okW := w.Cancel(h)
+					if !okW {
+						t.Fatalf("seed=%d: cancel of live timer %d failed", seed, s)
+					}
+					refBySeq[s].dead = true
+					delete(refBySeq, s)
+					delete(handles, s)
+					break
+				}
+			default: // advance
+				var to int64
+				if rng.Intn(3) == 0 {
+					to = now // zero-movement advance still fires past-due
+				} else {
+					to = now + rng.Int63n(5000)
+				}
+				var got []fireRec
+				prevDeadline := int64(-1 << 62)
+				w.Advance(to, func(p uint64, d int64) {
+					if d < prevDeadline {
+						t.Fatalf("seed=%d step=%d: fired deadline %d after %d", seed, step, d, prevDeadline)
+					}
+					prevDeadline = d
+					got = append(got, fireRec{d, p})
+					delete(handles, int(p))
+				})
+				want := popDue(to)
+				now = to
+				sortRecs(got)
+				sortRecs(want)
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d step=%d advance→%d: fired %v, want %v", seed, step, to, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed=%d step=%d advance→%d: fired %v, want %v", seed, step, to, got, want)
+					}
+				}
+			}
+			if w.Len() != len(refBySeq) {
+				t.Fatalf("seed=%d step=%d: Len=%d, reference has %d", seed, step, w.Len(), len(refBySeq))
+			}
+		}
+		// Drain: everything left must fire.
+		var got []fireRec
+		w.Advance(now+(1<<20), func(p uint64, d int64) { got = append(got, fireRec{d, p}) })
+		want := popDue(now + (1 << 20))
+		sortRecs(got)
+		sortRecs(want)
+		if len(got) != len(want) {
+			t.Fatalf("seed=%d drain: fired %d, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed=%d drain: fired %v, want %v", seed, got, want)
+			}
+		}
+		if w.Len() != 0 {
+			t.Fatalf("seed=%d: %d timers stuck after drain", seed, w.Len())
+		}
+	}
+}
+
+// The steady-state tick path must not allocate: timers come off the
+// freelist and intrusive lists never allocate nodes.
+func TestTickPathAllocationFree(t *testing.T) {
+	w := New(0)
+	fire := func(uint64, int64) {}
+	// Warm the freelist.
+	for i := 0; i < 64; i++ {
+		w.Schedule(int64(i+1), uint64(i))
+	}
+	w.Advance(64, fire)
+	now := int64(64)
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			w.Schedule(now+int64(i%7)+1, uint64(i))
+		}
+		now += 8
+		w.Advance(now, fire)
+		now += 64
+		w.Advance(now, fire)
+	})
+	if avg > 0 {
+		t.Fatalf("tick path allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	w := New(0)
+	fire := func(uint64, int64) {}
+	b.ReportAllocs()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		w.Schedule(now+int64(i%100)+1, uint64(i))
+		if i%64 == 63 {
+			now += 64
+			w.Advance(now, fire)
+		}
+	}
+	w.Advance(now+200, fire)
+}
+
+func BenchmarkCancel(b *testing.B) {
+	w := New(0)
+	hs := make([]Handle, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(hs) == cap(hs) {
+			for _, h := range hs {
+				w.Cancel(h)
+			}
+			hs = hs[:0]
+		}
+		hs = append(hs, w.Schedule(int64(i%5000)+1, uint64(i)))
+	}
+}

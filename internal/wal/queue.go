@@ -174,6 +174,52 @@ func (q *Queue) Pop() (int64, []byte, bool) {
 	return prio, value, true
 }
 
+// LeaseMin dequeues one element *without* retiring it durably: the
+// element leaves the in-memory backend (no other consumer can claim it)
+// but stays in the live index, so snapshots still cover it and a crash
+// resurrects it — exactly the conservative-redelivery contract a lease
+// needs. The returned token is the element's durable identity; the
+// caller must eventually pass it to Ack or Requeue. The lease record it
+// logs is liveness-neutral on replay and exists so recovery can report
+// in-flight leases (RecoverResult.Leases).
+func (q *Queue) LeaseMin() (token uint64, prio int64, value []byte, ok bool) {
+	prio, stored, ok := q.inner.Pop()
+	if !ok {
+		return 0, 0, nil, false
+	}
+	id, value := decodeValue(stored)
+	q.log.AppendLease(id)
+	return id, prio, value, true
+}
+
+// Ack durably retires a leased element: the consumer finished its work.
+// Mirrors Pop's index-before-logging ordering.
+func (q *Queue) Ack(token uint64) {
+	q.idx.remove(token)
+	q.log.AppendAck(token)
+}
+
+// Requeue returns a leased element to the queue at prio with a (possibly
+// rewritten) value — the redelivery path. The index update lands before
+// the log record, like Push, so any snapshot cut covering the record has
+// already seen the new value.
+func (q *Queue) Requeue(token uint64, prio int64, value []byte) {
+	q.idx.add(Item{ID: token, Priority: prio, Value: value})
+	q.log.AppendRequeue(token, prio, value)
+	q.inner.Push(prio, encodeValue(token, value))
+}
+
+// Rewrite durably updates a leased element's value and priority *without*
+// returning it to the in-memory queue — the dead-letter divert path: the
+// element stays claimed (no consumer can pop it) but its rewritten value
+// (e.g. a bumped delivery header) must survive a crash. The record replays
+// like a requeue, so a restart resurrects the element with the NEW value
+// and the first pop attempt re-diverts it.
+func (q *Queue) Rewrite(token uint64, prio int64, value []byte) {
+	q.idx.add(Item{ID: token, Priority: prio, Value: value})
+	q.log.AppendRequeue(token, prio, value)
+}
+
 // Peek returns the minimum element without consuming it (no log traffic).
 func (q *Queue) Peek() (int64, []byte, bool) {
 	prio, stored, ok := q.inner.Peek()

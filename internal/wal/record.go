@@ -28,10 +28,20 @@ import (
 // a record's LSN is its ordinal position counted from the owning segment's
 // header, which removes a whole class of disk/memory disagreement.
 
-// Op discriminates record bodies.
+// Op discriminates record bodies. The lease protocol (internal/lease)
+// adds three: opLease marks an element handed to a consumer while it
+// stays live (liveness-neutral on replay — a crash conservatively
+// redelivers it), opAck retires it for good (a removal, like opPop),
+// and opRequeue returns it to the queue with a rewritten value (an
+// upsert, like opPush — the rewritten value carries the bumped
+// delivery count, so redelivery accounting survives crashes and
+// snapshot compaction).
 const (
-	opPush byte = 0x01
-	opPop  byte = 0x02
+	opPush    byte = 0x01
+	opPop     byte = 0x02
+	opLease   byte = 0x03
+	opAck     byte = 0x04
+	opRequeue byte = 0x05
 )
 
 const (
@@ -84,12 +94,34 @@ func appendPushRecord(dst []byte, id uint64, prio int64, value []byte) []byte {
 
 // appendPopRecord appends the framed encoding of a pop to dst.
 func appendPopRecord(dst []byte, id uint64) []byte {
+	return appendIDRecord(dst, opPop, id)
+}
+
+// appendIDRecord appends an id-only record (opPop, opLease, opAck).
+func appendIDRecord(dst []byte, op byte, id uint64) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, popBodySize)
 	crcAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
 	bodyAt := len(dst)
-	dst = append(dst, opPop)
+	dst = append(dst, op)
 	dst = binary.BigEndian.AppendUint64(dst, id)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[bodyAt:], castagnoli))
+	return dst
+}
+
+// appendRequeueRecord appends the framed encoding of a requeue — the
+// same body shape as a push, under its own op so replay statistics and
+// debugging tools can tell redeliveries from first deliveries.
+func appendRequeueRecord(dst []byte, id uint64, prio int64, value []byte) []byte {
+	body := pushFixedSize + len(value)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	bodyAt := len(dst)
+	dst = append(dst, opRequeue)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(prio))
+	dst = append(dst, value...)
 	binary.BigEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[bodyAt:], castagnoli))
 	return dst
 }
@@ -116,13 +148,13 @@ func decodeRecord(data []byte) (record, int, error) {
 	}
 	rec := record{op: body[0], id: binary.BigEndian.Uint64(body[1:9])}
 	switch rec.op {
-	case opPush:
+	case opPush, opRequeue:
 		if n < pushFixedSize {
 			return record{}, 0, fmt.Errorf("%w: push body %d bytes", ErrTornRecord, n)
 		}
 		rec.prio = int64(binary.BigEndian.Uint64(body[9:17]))
 		rec.value = body[pushFixedSize:]
-	case opPop:
+	case opPop, opLease, opAck:
 		if n != popBodySize {
 			return record{}, 0, fmt.Errorf("%w: pop body %d bytes", ErrTornRecord, n)
 		}

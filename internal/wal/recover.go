@@ -28,6 +28,10 @@ type RecoverResult struct {
 	// TornTail reports that the final segment ended in a torn or invalid
 	// record, which recovery truncated away.
 	TornTail bool
+	// Leases counts elements that were out on a lease at the crash
+	// (leased, never acked or requeued) and are therefore being
+	// conservatively re-enqueued for redelivery.
+	Leases int
 
 	retained []segment
 }
@@ -75,6 +79,7 @@ func Recover(dir string, fr *flight.Recorder) (*RecoverResult, error) {
 
 	pushes := map[uint64]Item{}
 	pops := map[uint64]struct{}{}
+	leased := map[uint64]struct{}{}
 	maxLSN := res.SnapshotLSN
 	maxID := uint64(0)
 	for _, it := range snapItems {
@@ -106,10 +111,19 @@ func Recover(dir string, fr *flight.Recorder) (*RecoverResult, error) {
 				maxID = rec.id
 			}
 			switch rec.op {
-			case opPush:
+			case opPush, opRequeue:
+				// A requeue replays exactly like a push: the newest value
+				// wins (it carries the freshest delivery count).
 				pushes[rec.id] = Item{ID: rec.id, Priority: rec.prio, Value: append([]byte(nil), rec.value...)}
+				delete(leased, rec.id)
 			case opPop:
 				pops[rec.id] = struct{}{}
+				delete(leased, rec.id)
+			case opLease:
+				leased[rec.id] = struct{}{}
+			case opAck:
+				pops[rec.id] = struct{}{}
+				delete(leased, rec.id)
 			}
 			return true
 		})
@@ -150,6 +164,7 @@ func Recover(dir string, fr *flight.Recorder) (*RecoverResult, error) {
 		delete(snapItems, id)
 		delete(pushes, id)
 	}
+	res.Leases = len(leased)
 	for id, it := range pushes {
 		snapItems[id] = it
 	}

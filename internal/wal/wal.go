@@ -289,6 +289,39 @@ func (l *Log) AppendPop(id uint64) uint64 {
 	return lsn
 }
 
+// AppendLease appends a lease record for element id: the element was
+// handed to a consumer but stays live. Liveness-neutral on replay.
+func (l *Log) AppendLease(id uint64) uint64 {
+	l.mu.Lock()
+	before := len(l.buf)
+	l.buf = appendIDRecord(l.buf, opLease, id)
+	lsn := l.append(before)
+	l.mu.Unlock()
+	return lsn
+}
+
+// AppendAck appends an ack record for element id: the leased element is
+// retired for good (a removal, like a pop).
+func (l *Log) AppendAck(id uint64) uint64 {
+	l.mu.Lock()
+	before := len(l.buf)
+	l.buf = appendIDRecord(l.buf, opAck, id)
+	lsn := l.append(before)
+	l.mu.Unlock()
+	return lsn
+}
+
+// AppendRequeue appends a requeue record: the leased element returns to
+// the queue with a rewritten value (the bumped delivery header).
+func (l *Log) AppendRequeue(id uint64, prio int64, value []byte) uint64 {
+	l.mu.Lock()
+	before := len(l.buf)
+	l.buf = appendRequeueRecord(l.buf, id, prio, value)
+	lsn := l.append(before)
+	l.mu.Unlock()
+	return lsn
+}
+
 // append finishes one record appended at buffer offset before; caller
 // holds l.mu.
 func (l *Log) append(before int) uint64 {

@@ -490,6 +490,9 @@ func TestLogCloseFlushesPending(t *testing.T) {
 func FuzzWALDecode(f *testing.F) {
 	valid := appendPushRecord(nil, 1, -7, []byte("seed"))
 	valid = appendPopRecord(valid, 1)
+	valid = appendIDRecord(valid, opLease, 2)
+	valid = appendRequeueRecord(valid, 2, 9, []byte("again"))
+	valid = appendIDRecord(valid, opAck, 2)
 	f.Add([]byte{})
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3])      // torn tail

@@ -280,6 +280,26 @@ var goldenStream = []goldenFrame{
 		{Kind: StatusOK, Arg: 7, Data: []byte("a")},
 	}},
 	{kind: StatusErr, data: "wire: unknown frame kind"},
+	// Lease-protocol frames (0x07–0x0B, 0x86–0x87), plain and batched:
+	// committed alongside the originals so the lease extension cannot
+	// drift either.
+	{kind: OpPopLease, arg: 30_000},
+	{kind: StatusLeased, arg: 42,
+		data: string(AppendLeaseGrant(nil, 0xfeed, 1720000000000000007, []byte("job")))},
+	{kind: OpAck, arg: 0xfeed, trace: 0x1234, nano: 1720000000000000008},
+	{kind: OpNack, arg: 0xfeee},
+	{kind: StatusNoLease},
+	{kind: OpInsertDelay, arg: 9, data: string(AppendDelayValue(nil, 1500, []byte("later")))},
+	{kind: OpBatch, arg: 3, entries: []BatchEntry{
+		{Kind: OpPopLease, Arg: 10_000, Data: []byte("dead")},
+		{Kind: OpExtend, Arg: 0xfeed, Data: AppendDelayValue(nil, 60_000, nil)},
+		{Kind: OpAck, Arg: 0xfeef},
+	}},
+	{kind: StatusBatch, arg: 3, entries: []BatchEntry{
+		{Kind: StatusEmpty},
+		{Kind: StatusOK, Arg: 1720000000000000099},
+		{Kind: StatusNoLease},
+	}},
 }
 
 func encodeGolden(t *testing.T) []byte {
@@ -362,6 +382,15 @@ func FuzzBatch(f *testing.F) {
 	f.Add(traced)
 	single, _ := Append(nil, Frame{Kind: OpInsert, Arg: 3, Data: []byte("old")})
 	f.Add(append(append([]byte(nil), single...), seed...))
+	leased, _ := Append(nil, Frame{Kind: StatusLeased, Arg: 7,
+		Data: AppendLeaseGrant(nil, 0xfeed, 1720000000000000007, []byte("job"))})
+	f.Add(leased)
+	leaseBatch, _ := AppendBatch(nil, []BatchEntry{
+		{Kind: OpPopLease, Arg: 10_000},
+		{Kind: OpInsertDelay, Arg: 2, Data: AppendDelayValue(nil, 500, []byte("v"))},
+		{Kind: OpAck, Arg: 0xfeed},
+	}, 0, 0)
+	f.Add(leaseBatch)
 	f.Add([]byte{0, 0, 0, 22, 0x06, 0, 0, 0, 0, 0, 0, 0, 1, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, in []byte) {
 		r := bytes.NewReader(in)

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// kindTable is the exhaustive registry of every defined Kind. A new
+// opcode or status MUST be added here; TestKindExhaustive fails on any
+// byte value that behaves like a defined kind without being listed, and
+// on any listed kind that falls through String's default case — so new
+// code points (e.g. the 0x07–0x0B lease ops) cannot silently coast on
+// default-case behavior.
+var kindTable = []struct {
+	k       Kind
+	name    string
+	request bool
+}{
+	{OpInsert, "Insert", true},
+	{OpDeleteMin, "DeleteMin", true},
+	{OpPeek, "Peek", true},
+	{OpLen, "Len", true},
+	{OpPing, "Ping", true},
+	{OpBatch, "Batch", true},
+	{OpPopLease, "PopLease", true},
+	{OpAck, "Ack", true},
+	{OpNack, "Nack", true},
+	{OpExtend, "Extend", true},
+	{OpInsertDelay, "InsertDelay", true},
+	{StatusOK, "OK", false},
+	{StatusEmpty, "EMPTY", false},
+	{StatusBusy, "BUSY", false},
+	{StatusShutdown, "SHUTDOWN", false},
+	{StatusErr, "ERR", false},
+	{StatusBatch, "BATCH", false},
+	{StatusLeased, "LEASED", false},
+	{StatusNoLease, "NOLEASE", false},
+}
+
+func TestKindExhaustive(t *testing.T) {
+	defined := make(map[Kind]struct {
+		name    string
+		request bool
+	}, len(kindTable))
+	names := make(map[string]Kind, len(kindTable))
+	for _, row := range kindTable {
+		if prev, dup := defined[row.k]; dup {
+			t.Fatalf("kind 0x%02x listed twice (%q and %q)", byte(row.k), prev.name, row.name)
+		}
+		if prev, dup := names[row.name]; dup {
+			t.Fatalf("name %q used by both 0x%02x and 0x%02x", row.name, byte(prev), byte(row.k))
+		}
+		defined[row.k] = struct {
+			name    string
+			request bool
+		}{row.name, row.request}
+		names[row.name] = row.k
+	}
+
+	for b := 0; b < 256; b++ {
+		k := Kind(b)
+		want, ok := defined[k]
+		if !ok {
+			// Undefined code points: not a request, not a response, and
+			// String must produce the fallthrough form — if one of these
+			// starts passing IsRequest/IsResponse or gets a real name,
+			// it was assigned without being added to kindTable.
+			if k.IsRequest() {
+				t.Errorf("undefined kind 0x%02x claims IsRequest", b)
+			}
+			if k.IsResponse() {
+				t.Errorf("undefined kind 0x%02x claims IsResponse", b)
+			}
+			if s := k.String(); !strings.HasPrefix(s, "Kind(0x") {
+				t.Errorf("undefined kind 0x%02x has a real name %q but is not in kindTable", b, s)
+			}
+			continue
+		}
+		if got := k.String(); got != want.name {
+			t.Errorf("Kind(0x%02x).String() = %q, want %q", b, got, want.name)
+		}
+		if got := k.IsRequest(); got != want.request {
+			t.Errorf("Kind(0x%02x).IsRequest() = %v, want %v", b, got, want.request)
+		}
+		if got := k.IsResponse(); got != !want.request {
+			t.Errorf("Kind(0x%02x).IsResponse() = %v, want %v", b, got, !want.request)
+		}
+		// Every defined kind must round-trip through the frame codec.
+		enc, err := Append(nil, Frame{Kind: k, Arg: 1})
+		if err != nil {
+			t.Errorf("Append rejects defined kind %v: %v", k, err)
+			continue
+		}
+		f, err := Decode(enc[lenSize:])
+		if err != nil || f.Kind != k {
+			t.Errorf("decode of defined kind %v: frame %v, err %v", k, f.Kind, err)
+		}
+		// And every defined non-batch kind must be batchable in its
+		// direction — lease ops coalesce like any other op.
+		if k != OpBatch && k != StatusBatch {
+			if !batchable(k, want.request) {
+				t.Errorf("defined kind %v is not batchable", k)
+			}
+		} else if batchable(k, want.request) {
+			t.Errorf("batch kind %v must not nest", k)
+		}
+	}
+
+	// The code-point ranges themselves: requests are 0x01..0x0B and
+	// statuses 0x80..0x87, contiguous. Guards the 0x07–0x0A assignments
+	// against gaps or overlaps with the flag bits.
+	if OpPopLease != 0x07 || OpAck != 0x08 || OpNack != 0x09 || OpExtend != 0x0A || OpInsertDelay != 0x0B {
+		t.Errorf("lease opcodes moved: PopLease=0x%02x Ack=0x%02x Nack=0x%02x Extend=0x%02x InsertDelay=0x%02x",
+			byte(OpPopLease), byte(OpAck), byte(OpNack), byte(OpExtend), byte(OpInsertDelay))
+	}
+	if StatusLeased != 0x86 || StatusNoLease != 0x87 {
+		t.Errorf("lease statuses moved: Leased=0x%02x NoLease=0x%02x", byte(StatusLeased), byte(StatusNoLease))
+	}
+	for _, row := range kindTable {
+		if row.k&FlagTraced != 0 {
+			t.Errorf("kind 0x%02x collides with FlagTraced", byte(row.k))
+		}
+	}
+}
+
+func TestLeaseGrantRoundTrip(t *testing.T) {
+	data := AppendLeaseGrant(nil, 0xdeadbeef, 1720000000000000042, []byte("job"))
+	if len(data) != LeaseGrantSize+3 {
+		t.Fatalf("grant payload %d bytes", len(data))
+	}
+	id, dl, v, err := ParseLeaseGrant(data)
+	if err != nil || id != 0xdeadbeef || dl != 1720000000000000042 || string(v) != "job" {
+		t.Fatalf("ParseLeaseGrant = %d/%d/%q/%v", id, dl, v, err)
+	}
+	if _, _, _, err := ParseLeaseGrant(data[:LeaseGrantSize-1]); err == nil {
+		t.Fatal("short grant must error")
+	}
+	// Empty value is legal.
+	if _, _, v, err := ParseLeaseGrant(AppendLeaseGrant(nil, 1, 2, nil)); err != nil || len(v) != 0 {
+		t.Fatalf("empty-value grant: %q, %v", v, err)
+	}
+}
+
+func TestDelayValueRoundTrip(t *testing.T) {
+	data := AppendDelayValue(nil, 1500, []byte("later"))
+	ms, v, err := ParseDelayValue(data)
+	if err != nil || ms != 1500 || string(v) != "later" {
+		t.Fatalf("ParseDelayValue = %d/%q/%v", ms, v, err)
+	}
+	if _, _, err := ParseDelayValue(data[:DelayHeaderSize-1]); err == nil {
+		t.Fatal("short delay header must error")
+	}
+}

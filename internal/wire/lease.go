@@ -1,0 +1,70 @@
+// Lease payload layouts: the fixed headers carried inside lease-protocol
+// frame data. They live here, next to the opcode definitions, so client
+// and server cannot drift.
+//
+// A StatusLeased frame's data is the 16-byte grant header followed by
+// the element value:
+//
+//	uint64  lease ID         big-endian, non-zero
+//	int64   deadline         big-endian UnixNano; Ack must land before it
+//	bytes   value            the element's payload
+//
+// An OpInsertDelay frame's data is the 8-byte delay header followed by
+// the value:
+//
+//	uint64  delay            big-endian milliseconds until visibility
+//	bytes   value            the element's payload
+//
+// Both headers ride inside ordinary frame data, so lease frames batch,
+// trace, and size-limit like any other frame.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LeaseGrantSize is the fixed prefix of a StatusLeased frame's data.
+const LeaseGrantSize = 8 + 8
+
+// SelectorDead is the OpPopLease data selector that claims from the
+// dead-letter queue instead of the main queue. Empty data selects the
+// main queue.
+const SelectorDead = "dead"
+
+// DelayHeaderSize is the fixed prefix of an OpInsertDelay frame's data.
+const DelayHeaderSize = 8
+
+// AppendLeaseGrant encodes the StatusLeased data payload.
+func AppendLeaseGrant(dst []byte, leaseID uint64, deadlineNano int64, value []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, leaseID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(deadlineNano))
+	return append(dst, value...)
+}
+
+// ParseLeaseGrant splits a StatusLeased data payload. The returned value
+// aliases data.
+func ParseLeaseGrant(data []byte) (leaseID uint64, deadlineNano int64, value []byte, err error) {
+	if len(data) < LeaseGrantSize {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes for a lease grant", ErrShortFrame, len(data))
+	}
+	leaseID = binary.BigEndian.Uint64(data)
+	deadlineNano = int64(binary.BigEndian.Uint64(data[8:]))
+	return leaseID, deadlineNano, data[LeaseGrantSize:], nil
+}
+
+// AppendDelayValue encodes the OpInsertDelay data payload.
+func AppendDelayValue(dst []byte, delayMillis uint64, value []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, delayMillis)
+	return append(dst, value...)
+}
+
+// ParseDelayValue splits an OpInsertDelay data payload. The returned
+// value aliases data.
+func ParseDelayValue(data []byte) (delayMillis uint64, value []byte, err error) {
+	if len(data) < DelayHeaderSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes for a delay header", ErrShortFrame, len(data))
+	}
+	return binary.BigEndian.Uint64(data), data[DelayHeaderSize:], nil
+}

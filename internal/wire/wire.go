@@ -64,6 +64,32 @@ const (
 	// exactly one StatusBatch frame with one status entry per operation.
 	OpBatch Kind = 0x06
 
+	// OpPopLease claims the minimum element under a lease instead of
+	// removing it outright: arg is the requested lease TTL in
+	// milliseconds (0 selects the server default), data the queue
+	// selector (empty for the main queue, "dead" for the dead-letter
+	// queue). Answered by StatusLeased, or StatusEmpty when the selected
+	// queue has no ready element (see lease.go for the grant layout).
+	OpPopLease Kind = 0x07
+	// OpAck retires a leased element for good: arg is the lease ID.
+	// Answered by StatusOK, or StatusNoLease when the lease is unknown
+	// or already expired.
+	OpAck Kind = 0x08
+	// OpNack returns a leased element to the queue immediately at its
+	// original priority (delivery count still bumps): arg is the lease
+	// ID. Answered by StatusOK or StatusNoLease.
+	OpNack Kind = 0x09
+	// OpExtend pushes a live lease's deadline out: arg is the lease ID,
+	// data an optional big-endian uint64 TTL in milliseconds (empty
+	// selects the server default). Answered by StatusOK with arg set to
+	// the new deadline (UnixNano), or StatusNoLease.
+	OpExtend Kind = 0x0A
+	// OpInsertDelay adds an element that only becomes visible to pops
+	// after a delay: arg is the priority, data a big-endian uint64 delay
+	// in milliseconds followed by the value (see lease.go). Answered by
+	// StatusOK; the insert is durable immediately even though invisible.
+	OpInsertDelay Kind = 0x0B
+
 	// StatusOK answers a successful request. For DeleteMin/Peek arg is the
 	// priority and data the value; for Len arg is the count; for
 	// Insert/Ping both are empty.
@@ -84,6 +110,14 @@ const (
 	// request's), data the packed per-op status entries in operation
 	// order (see batch.go).
 	StatusBatch Kind = 0x85
+	// StatusLeased answers a successful OpPopLease: arg is the element's
+	// priority, data the 16-byte grant header (lease ID + deadline
+	// UnixNano) followed by the value (see lease.go).
+	StatusLeased Kind = 0x86
+	// StatusNoLease answers OpAck/OpNack/OpExtend for a lease ID the
+	// server does not hold: never granted, already acked, or expired and
+	// requeued. The request had no effect.
+	StatusNoLease Kind = 0x87
 
 	// FlagTraced marks a frame carrying the 16-byte trace trailer (trace
 	// ID + send timestamp) between arg and data. It is a wire-level flag:
@@ -93,10 +127,10 @@ const (
 )
 
 // IsRequest reports whether k is a client-to-server op.
-func (k Kind) IsRequest() bool { return k >= OpInsert && k <= OpBatch }
+func (k Kind) IsRequest() bool { return k >= OpInsert && k <= OpInsertDelay }
 
 // IsResponse reports whether k is a server-to-client status.
-func (k Kind) IsResponse() bool { return k >= StatusOK && k <= StatusBatch }
+func (k Kind) IsResponse() bool { return k >= StatusOK && k <= StatusNoLease }
 
 // String names the kind for diagnostics.
 func (k Kind) String() string {
@@ -113,6 +147,16 @@ func (k Kind) String() string {
 		return "Ping"
 	case OpBatch:
 		return "Batch"
+	case OpPopLease:
+		return "PopLease"
+	case OpAck:
+		return "Ack"
+	case OpNack:
+		return "Nack"
+	case OpExtend:
+		return "Extend"
+	case OpInsertDelay:
+		return "InsertDelay"
 	case StatusOK:
 		return "OK"
 	case StatusEmpty:
@@ -125,6 +169,10 @@ func (k Kind) String() string {
 		return "ERR"
 	case StatusBatch:
 		return "BATCH"
+	case StatusLeased:
+		return "LEASED"
+	case StatusNoLease:
+		return "NOLEASE"
 	}
 	return fmt.Sprintf("Kind(0x%02x)", byte(k))
 }

@@ -171,7 +171,7 @@ func TestAppendRejects(t *testing.T) {
 	if !bytes.Equal(out, dst) {
 		t.Fatal("failed Append modified dst")
 	}
-	for _, k := range []Kind{KindInvalid, 0x07, 0x7f, 0x86, 0xff} {
+	for _, k := range []Kind{KindInvalid, 0x0c, 0x7f, 0x88, 0xff} {
 		if _, err := Append(nil, Frame{Kind: k}); !errors.Is(err, ErrBadKind) {
 			t.Fatalf("kind 0x%02x: err = %v, want ErrBadKind", byte(k), err)
 		}
